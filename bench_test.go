@@ -1,0 +1,366 @@
+// Package bench is the benchmark harness: one testing.B benchmark per
+// table and figure in the paper, plus ablation benches for the design
+// choices DESIGN.md calls out. Real wall-clock time measures the
+// simulator; the *simulated* metrics the paper reports are attached to
+// each benchmark via ReportMetric (sim-* units).
+//
+// Run with: go test -bench=. -benchmem .
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"uvm/internal/bsdvm"
+	"uvm/internal/experiments"
+	"uvm/internal/param"
+	"uvm/internal/sim"
+	"uvm/internal/uvm"
+	"uvm/internal/vmapi"
+	"uvm/internal/workload"
+)
+
+// --- Table 1: allocated map entries ---
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(rows[2].BSD), "entries-bsd-singleuser")
+			b.ReportMetric(float64(rows[2].UVM), "entries-uvm-singleuser")
+		}
+	}
+}
+
+// --- Table 2: page fault counts ---
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var bf, uf int64
+			for _, r := range rows {
+				bf += r.BSD
+				uf += r.UVM
+			}
+			b.ReportMetric(float64(bf), "faults-bsd-total")
+			b.ReportMetric(float64(uf), "faults-uvm-total")
+		}
+	}
+}
+
+// --- Table 3: map-fault-unmap time ---
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3(200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(float64(r.BSD.Nanoseconds())/1e3, "sim-us-bsd-"+metricName(r.Case))
+				b.ReportMetric(float64(r.UVM.Nanoseconds())/1e3, "sim-us-uvm-"+metricName(r.Case))
+			}
+		}
+	}
+}
+
+func metricName(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r == ' ' || r == '/':
+			out = append(out, '-')
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+// --- Figure 2: object cache effect ---
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Figure2([]int{50, 200})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			big := points[1]
+			b.ReportMetric(big.BSD.Seconds(), "sim-s-bsd-200files")
+			b.ReportMetric(big.UVM.Seconds(), "sim-s-uvm-200files")
+		}
+	}
+}
+
+// --- Figure 5: anonymous allocation time ---
+
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Figure5([]int{16, 44})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			p := points[1]
+			b.ReportMetric(p.BSD.Seconds(), "sim-s-bsd-44MB")
+			b.ReportMetric(p.UVM.Seconds(), "sim-s-uvm-44MB")
+		}
+	}
+}
+
+// --- Figure 6: fork+wait overhead ---
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Figure6([]int{8}, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			p := points[0]
+			b.ReportMetric(float64(p.BSDTouched.Microseconds()), "sim-us-bsd-touched-8MB")
+			b.ReportMetric(float64(p.UVMTouched.Microseconds()), "sim-us-uvm-touched-8MB")
+		}
+	}
+}
+
+// --- §7: data movement ---
+
+func BenchmarkDataMovement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.DataMovement([]int{1, 256})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rows[0].LoanSaving*100, "saving-pct-1page")
+			b.ReportMetric(rows[1].LoanSaving*100, "saving-pct-256pages")
+		}
+	}
+}
+
+// --- §8: /etc/rc ---
+
+func BenchmarkRC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bsd, uv, err := experiments.RC()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(100*(1-float64(uv)/float64(bsd)), "saving-pct")
+		}
+	}
+}
+
+// --- Ablations ---
+
+func benchMachine() *vmapi.Machine {
+	return vmapi.NewMachine(vmapi.MachineConfig{
+		RAMPages: 8192, SwapPages: 32768, FSPages: 32768, MaxVnodes: 2000,
+	})
+}
+
+// BenchmarkAblationTwoStepMapping isolates the §3.1 mapping-API change:
+// establishing read-only mappings under both systems.
+func BenchmarkAblationTwoStepMapping(b *testing.B) {
+	run := func(sys vmapi.System) time.Duration {
+		mach := sys.Machine()
+		mach.FS.Create("/m.bin", param.PageSize, nil)
+		vn, _ := mach.FS.Open("/m.bin")
+		defer vn.Unref()
+		p, _ := sys.NewProcess("mapper")
+		// Warm the object.
+		va, _ := p.Mmap(0, param.PageSize, param.ProtRead, vmapi.MapShared, vn, 0)
+		p.Munmap(va, param.PageSize)
+		t0 := mach.Clock.Now()
+		const iters = 1000
+		for i := 0; i < iters; i++ {
+			va, err := p.Mmap(0, param.PageSize, param.ProtRead, vmapi.MapShared, vn, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p.Munmap(va, param.PageSize)
+		}
+		return mach.Clock.Since(t0) / iters
+	}
+	for i := 0; i < b.N; i++ {
+		bt := run(bsdvm.Boot(benchMachine()))
+		ut := run(uvm.Boot(benchMachine()))
+		if i == 0 {
+			b.ReportMetric(float64(bt.Nanoseconds()), "sim-ns-bsd")
+			b.ReportMetric(float64(ut.Nanoseconds()), "sim-ns-uvm")
+		}
+	}
+}
+
+// BenchmarkAblationUnmapLockHold compares how long the map lock is held
+// across an unmap that triggers teardown work (§3.1 two-phase unmap).
+func BenchmarkAblationUnmapLockHold(b *testing.B) {
+	run := func(sys vmapi.System) float64 {
+		mach := sys.Machine()
+		p, _ := sys.NewProcess("unmapper")
+		const pages = 64
+		for i := 0; i < 20; i++ {
+			va, err := p.Mmap(0, pages*param.PageSize, param.ProtRW,
+				vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := p.TouchRange(va, pages*param.PageSize, true); err != nil {
+				b.Fatal(err)
+			}
+			mach.Stats.Add(sys.Name()+".map.lockheld_ns", 0) // ensure key exists
+			if err := p.Munmap(va, pages*param.PageSize); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return float64(mach.Stats.Get(sys.Name() + ".map.lockheld_max_ns"))
+	}
+	for i := 0; i < b.N; i++ {
+		bh := run(bsdvm.Boot(benchMachine()))
+		uh := run(uvm.Boot(benchMachine()))
+		if i == 0 {
+			b.ReportMetric(bh, "sim-ns-maxhold-bsd")
+			b.ReportMetric(uh, "sim-ns-maxhold-uvm")
+		}
+	}
+}
+
+// BenchmarkAblationLookahead measures Table 2's mechanism directly:
+// faults over a warm file with UVM's lookahead on and off.
+func BenchmarkAblationLookahead(b *testing.B) {
+	run := func(disable bool) int64 {
+		mach := benchMachine()
+		cfg := uvm.DefaultConfig()
+		cfg.DisableLookahead = disable
+		sys := uvm.BootConfig(mach, cfg)
+		mach.FS.Create("/warm.bin", 64*param.PageSize, nil)
+		vn, _ := mach.FS.Open("/warm.bin")
+		defer vn.Unref()
+		warm, _ := sys.NewProcess("warm")
+		wva, _ := warm.Mmap(0, 64*param.PageSize, param.ProtRead, vmapi.MapShared, vn, 0)
+		warm.TouchRange(wva, 64*param.PageSize, false)
+
+		p, _ := sys.NewProcess("reader")
+		va, _ := p.Mmap(0, 64*param.PageSize, param.ProtRead, vmapi.MapShared, vn, 0)
+		before := mach.Stats.Get(sim.CtrFaults)
+		p.TouchRange(va, 64*param.PageSize, false)
+		return mach.Stats.Get(sim.CtrFaults) - before
+	}
+	for i := 0; i < b.N; i++ {
+		with := run(false)
+		without := run(true)
+		if i == 0 {
+			b.ReportMetric(float64(with), "faults-lookahead")
+			b.ReportMetric(float64(without), "faults-nolookahead")
+		}
+	}
+}
+
+// BenchmarkAblationClustering measures Figure 5's mechanism directly:
+// pageout of 2x RAM with UVM clustering on and off.
+func BenchmarkAblationClustering(b *testing.B) {
+	run := func(disable bool) time.Duration {
+		mach := vmapi.NewMachine(vmapi.MachineConfig{
+			RAMPages: 2048, SwapPages: 16384, FSPages: 1024, MaxVnodes: 100,
+		})
+		cfg := uvm.DefaultConfig()
+		cfg.DisableClustering = disable
+		sys := uvm.BootConfig(mach, cfg)
+		p, _ := sys.NewProcess("pig")
+		const pages = 4096
+		va, _ := p.Mmap(0, pages*param.PageSize, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
+		t0 := mach.Clock.Now()
+		if err := p.TouchRange(va, pages*param.PageSize, true); err != nil {
+			b.Fatal(err)
+		}
+		return mach.Clock.Since(t0)
+	}
+	for i := 0; i < b.N; i++ {
+		with := run(false)
+		without := run(true)
+		if i == 0 {
+			b.ReportMetric(with.Seconds(), "sim-s-clustered")
+			b.ReportMetric(without.Seconds(), "sim-s-unclustered")
+		}
+	}
+}
+
+// BenchmarkAblationObjCacheLimit sweeps BSD VM's object cache limit over
+// the Figure 2 workload, showing the cliff follows the limit.
+func BenchmarkAblationObjCacheLimit(b *testing.B) {
+	run := func(limit int) time.Duration {
+		mach := vmapi.NewMachine(vmapi.MachineConfig{
+			RAMPages: 16384, SwapPages: 16384, FSPages: 32768, MaxVnodes: 2000,
+		})
+		cfg := bsdvm.DefaultConfig()
+		cfg.ObjCacheLimit = limit
+		sys := bsdvm.BootConfig(mach, cfg)
+		srv, err := workload.NewFileServer(sys, 150, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		srv.ServeAll()
+		d, err := srv.ServeAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return d
+	}
+	for i := 0; i < b.N; i++ {
+		small := run(100)
+		big := run(200)
+		if i == 0 {
+			b.ReportMetric(small.Seconds(), "sim-s-limit100")
+			b.ReportMetric(big.Seconds(), "sim-s-limit200")
+		}
+	}
+}
+
+// BenchmarkAblationCollapse compares BSD VM fork/COW churn with the
+// collapse operation on and off: without it, swap and resident pages
+// leak (§5.3).
+func BenchmarkAblationCollapse(b *testing.B) {
+	run := func(disable bool) int {
+		mach := vmapi.NewMachine(vmapi.MachineConfig{
+			RAMPages: 4096, SwapPages: 16384, FSPages: 1024, MaxVnodes: 100,
+		})
+		cfg := bsdvm.DefaultConfig()
+		cfg.DisableCollapse = disable
+		sys := bsdvm.BootConfig(mach, cfg)
+		p, _ := sys.NewProcess("churn")
+		const pages = 32
+		va, _ := p.Mmap(0, pages*param.PageSize, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
+		p.TouchRange(va, pages*param.PageSize, true)
+		for i := 0; i < 10; i++ {
+			child, err := p.Fork("c")
+			if err != nil {
+				break
+			}
+			if err := p.TouchRange(va, pages*param.PageSize, true); err != nil {
+				break
+			}
+			child.Exit()
+		}
+		return int(mach.Mem.TotalPages() - mach.Mem.FreePages())
+	}
+	for i := 0; i < b.N; i++ {
+		withCollapse := run(false)
+		withoutCollapse := run(true)
+		if i == 0 {
+			b.ReportMetric(float64(withCollapse), "pages-held-collapse")
+			b.ReportMetric(float64(withoutCollapse), "pages-held-nocollapse")
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Command uvmbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	uvmbench              run every experiment (full parameter sweeps)
+//	uvmbench -quick       run every experiment with trimmed sweeps
+//	uvmbench -e fig5      run a single experiment by id
+//	uvmbench -list        list experiment ids
+//
+// Experiment ids: table1 table2 table3 fig2 fig5 fig6 datamove rc.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"uvm/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "trimmed parameter sweeps")
+		exp   = flag.String("e", "", "run a single experiment by id")
+		list  = flag.Bool("list", false, "list experiment ids")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All(*quick) {
+			fmt.Printf("%-10s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+	if *exp != "" {
+		r, ok := experiments.Lookup(*exp, *quick)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "uvmbench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(1)
+		}
+		if err := r.Run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "uvmbench: %s: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, r := range experiments.All(*quick) {
+		if err := r.Run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "uvmbench: %s: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+	}
+}

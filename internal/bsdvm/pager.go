@@ -1,0 +1,208 @@
+package bsdvm
+
+import (
+	"uvm/internal/param"
+	"uvm/internal/phys"
+	"uvm/internal/sim"
+	"uvm/internal/vfs"
+	"uvm/internal/vmapi"
+)
+
+// swapBlockPages is the fixed clustering of the BSD VM swap pager: swap
+// is allocated in blocks of contiguous slots covering aligned groups of
+// object pages (§5.3: "pages are clustered together into swap blocks...
+// each allocated swap block contains a pointer to a location on backing
+// store"). A page's slot within its block is fixed once the block exists —
+// BSD VM cannot reassign pageout locations, which is why its pageout
+// cannot cluster scattered dirty pages (§6).
+const swapBlockPages = 16
+
+// vmPager is the separately allocated pager structure of BSD VM, pointing
+// at pager operations and a pager-private structure (vn_pager or the swap
+// pager state). UVM eliminates this allocation entirely.
+type vmPager struct {
+	vn  *vfs.Vnode // vnode pager private data
+	swp *swapPager // swap pager private data
+}
+
+// swapPager tracks an anonymous object's swap blocks.
+type swapPager struct {
+	sys    *System
+	blocks map[int]int64 // block index -> first slot of the block
+	slots  map[int]int64 // page index -> assigned slot (within its block)
+}
+
+// newVnodePager allocates the vm_pager + vn_pager pair for a file.
+func (s *System) newVnodePager(vn *vfs.Vnode) *vmPager {
+	s.mach.Clock.Advance(s.mach.Costs.PagerAlloc)
+	s.mach.Stats.Inc("bsdvm.pager.alloc")
+	return &vmPager{vn: vn}
+}
+
+// ensureSwapPager lazily creates an anonymous object's swap pager on first
+// pageout.
+func (s *System) ensureSwapPager(o *object) {
+	if o.pager != nil {
+		return
+	}
+	s.mach.Clock.Advance(s.mach.Costs.PagerAlloc)
+	s.mach.Stats.Inc("bsdvm.pager.alloc")
+	o.pager = &vmPager{swp: &swapPager{
+		sys:    s,
+		blocks: make(map[int]int64),
+		slots:  make(map[int]int64),
+	}}
+	s.hashInsert(o.pager, o)
+}
+
+// hashInsert and hashLookup model the pager hash table that maps pager
+// structures to the objects they back; every probe is charged.
+func (s *System) hashInsert(p *vmPager, o *object) {
+	s.mach.Clock.Advance(s.mach.Costs.HashLookup)
+	s.pagerHash[p] = o
+}
+
+func (s *System) hashRemove(p *vmPager) {
+	s.mach.Clock.Advance(s.mach.Costs.HashLookup)
+	delete(s.pagerHash, p)
+}
+
+// destroyPager releases pager structures and any swap space they hold.
+func (s *System) destroyPager(p *vmPager) {
+	if p.swp != nil {
+		for _, start := range p.swp.blocks {
+			s.mach.Swap.FreeRange(start, swapBlockPages)
+		}
+		p.swp.blocks = nil
+		p.swp.slots = nil
+	}
+	s.hashRemove(p)
+}
+
+// hasSlot reports whether page idx has swap data.
+func (sp *swapPager) hasSlot(idx int) bool {
+	_, ok := sp.slots[idx]
+	return ok
+}
+
+// slotFor returns page idx's swap slot, allocating the covering block on
+// first use. The slot is fixed: idx always maps to the same position in
+// its block.
+func (sp *swapPager) slotFor(idx int) (int64, error) {
+	if slot, ok := sp.slots[idx]; ok {
+		return slot, nil
+	}
+	blk := idx / swapBlockPages
+	start, ok := sp.blocks[blk]
+	if !ok {
+		var err error
+		start, err = sp.sys.mach.Swap.AllocContig(swapBlockPages)
+		if err != nil {
+			return 0, err
+		}
+		sp.blocks[blk] = start
+	}
+	slot := start + int64(idx%swapBlockPages)
+	sp.slots[idx] = slot
+	return slot, nil
+}
+
+// adopt takes over a slot moved up from a collapsed shadow. The slot keeps
+// its old disk location; it is remembered page-granularly but its original
+// block is owned by the dying pager, so the slot is copied into a block of
+// our own. (Real BSD VM moves the swap block pointers; modelling the copy
+// as a remap keeps the accounting simple while preserving slot counts.)
+func (sp *swapPager) adopt(idx int, slot int64) {
+	blk := idx / swapBlockPages
+	if _, ok := sp.blocks[blk]; !ok {
+		// Adopt the donor's block region lazily: record the slot directly.
+		// The donor removes the slot from its own table so it is not
+		// double-freed; block-level ownership transfers with first adopt.
+		sp.blocks[blk] = slot - int64(idx%swapBlockPages)
+	}
+	sp.slots[idx] = slot
+}
+
+// pagerHas reports whether o's pager holds data for page idx.
+func (s *System) pagerHas(o *object, idx int) bool {
+	if o.pager == nil {
+		return false
+	}
+	if o.pager.vn != nil {
+		return idx >= 0 && idx < o.pager.vn.NumPages()
+	}
+	if o.pager.swp != nil {
+		return o.pager.swp.hasSlot(idx)
+	}
+	return false
+}
+
+// pagein brings page idx of o in from backing store — one page per I/O,
+// the BSD VM way. In BSD VM the faulting code allocates the page and then
+// asks the pager to fill it (the pager never allocates; contrast with
+// UVM's pager-allocates API, §6).
+func (s *System) pagein(o *object, idx int) (*phys.Page, error) {
+	pg, err := s.allocPage(o, idx, false)
+	if err != nil {
+		return nil, err
+	}
+	pg.Busy = true
+	if o.pager.vn != nil {
+		err = o.pager.vn.ReadPage(idx, pg.Data)
+	} else {
+		slot := o.pager.swp.slots[idx]
+		err = s.mach.Swap.ReadSlot(slot, pg.Data)
+	}
+	pg.Busy = false
+	if err != nil {
+		delete(o.pages, idx)
+		s.mach.Mem.Free(pg)
+		return nil, err
+	}
+	pg.Dirty = o.anon // anon data only lives on swap until written back again
+	s.mach.Stats.Inc(sim.CtrPageIns)
+	return pg, nil
+}
+
+// pageout writes one dirty page to backing store — one page, one I/O
+// (§1.1: "I/O operations in BSD VM are performed one page at a time").
+func (s *System) pageout(o *object, pg *phys.Page) error {
+	idx := param.OffToPage(pg.Off)
+	pg.Busy = true
+	defer func() { pg.Busy = false }()
+	if o.vnode != nil && !o.anon {
+		if err := o.vnode.WritePage(idx, pg.Data); err != nil {
+			return err
+		}
+	} else {
+		s.ensureSwapPager(o)
+		slot, err := o.pager.swp.slotFor(idx)
+		if err != nil {
+			return err
+		}
+		if err := s.mach.Swap.WriteSlot(slot, pg.Data); err != nil {
+			return err
+		}
+	}
+	pg.Dirty = false
+	s.mach.Stats.Inc(sim.CtrPageOuts)
+	return nil
+}
+
+// allocPage allocates a frame for page idx of o, running the pagedaemon on
+// memory shortage.
+func (s *System) allocPage(o *object, idx int, zero bool) (*phys.Page, error) {
+	for attempt := 0; ; attempt++ {
+		pg, err := s.mach.Mem.Alloc(o, param.PageToOff(idx), zero)
+		if err == nil {
+			o.pages[idx] = pg
+			return pg, nil
+		}
+		if attempt >= 3 {
+			return nil, vmapi.ErrDeadlock
+		}
+		if rerr := s.reclaim(s.cfg.ReclaimBatch); rerr != nil {
+			return nil, rerr
+		}
+	}
+}

@@ -1,0 +1,631 @@
+package bsdvm
+
+import (
+	"uvm/internal/param"
+	"uvm/internal/pmap"
+	"uvm/internal/vfs"
+	"uvm/internal/vmapi"
+)
+
+// ptRegionBase is where i386 page-table placeholder entries are recorded
+// in a BSD VM process map (§3.2: under BSD the wired state of page-table
+// memory is stored in the user process' map as well as the pmap).
+const ptRegionBase = param.UserMax
+
+// ptRegionSize bounds the placeholder area.
+const ptRegionSize = param.VAddr(64 << 20)
+
+// process is a BSD VM process: a vmspace (map + pmap) plus the kernel-side
+// allocations the VM system makes on its behalf.
+type process struct {
+	sys  *System
+	name string
+
+	m  *vmMap
+	pm *pmap.Pmap
+
+	exited bool
+	// vforked marks a child sharing its parent's address space: teardown
+	// at exit releases only the per-process kernel state.
+	vforked bool
+
+	// ustruct: the kernel map ranges wired for the user structure and
+	// kernel stack — two kernel map entries per process (§3.2).
+	ustruct []struct {
+		va    param.VAddr
+		pages int
+	}
+
+	// i386 page-table placeholder entries currently in the map.
+	ptEntries []*entry
+	nextPT    param.VAddr
+	ptFreeVAs []param.VAddr
+}
+
+// NewProcess implements vmapi.System.
+func (s *System) NewProcess(name string) (vmapi.Process, error) {
+	s.big.Lock()
+	defer s.big.Unlock()
+	return s.newProcessLocked(name)
+}
+
+func (s *System) newProcessLocked(name string) (*process, error) {
+	p := &process{sys: s, name: name}
+	p.m = s.newMap(name, param.UserTextBase, ptRegionBase+ptRegionSize, false)
+	p.m.allocMax = param.UserMax
+	p.pm = p.m.pmap
+	p.nextPT = ptRegionBase
+
+	// i386 page-table wiring is recorded in the process map under BSD VM.
+	p.pm.OnPTAlloc = func() { p.addPTEntry() }
+	p.pm.OnPTFree = func() { p.removePTEntry() }
+
+	// The user structure and kernel stack: wired kernel memory, one
+	// kernel map entry each. Claiming and clearing the pages costs the
+	// same as under UVM; the map entries are the BSD-specific part.
+	s.mach.Clock.ChargeN(4, s.mach.Costs.PageAlloc)
+	s.mach.Clock.ChargeN(4, s.mach.Costs.PageZero)
+	for _, pages := range []int{2, 2} {
+		va, err := s.kernelAllocLocked(pages, param.ProtRW)
+		if err != nil {
+			return nil, err
+		}
+		p.ustruct = append(p.ustruct, struct {
+			va    param.VAddr
+			pages int
+		}{va, pages})
+	}
+	s.procs[p] = struct{}{}
+	s.mach.Stats.Inc("bsdvm.proc.created")
+	return p, nil
+}
+
+func (p *process) addPTEntry() {
+	var va param.VAddr
+	if n := len(p.ptFreeVAs); n > 0 {
+		va = p.ptFreeVAs[n-1]
+		p.ptFreeVAs = p.ptFreeVAs[:n-1]
+	} else {
+		va = p.nextPT
+		p.nextPT += param.PageSize
+	}
+	e := p.sys.allocEntry(p.m)
+	e.start, e.end = va, va+param.PageSize
+	e.prot, e.maxProt = param.ProtRW, param.ProtRW
+	e.wired = 1
+	e.placeholder = true
+	p.m.insert(e)
+	p.ptEntries = append(p.ptEntries, e)
+}
+
+func (p *process) removePTEntry() {
+	n := len(p.ptEntries)
+	if n == 0 {
+		return
+	}
+	e := p.ptEntries[n-1]
+	p.ptEntries = p.ptEntries[:n-1]
+	p.m.unlink(e)
+	p.ptFreeVAs = append(p.ptFreeVAs, e.start)
+	p.sys.freeEntry(p.m, e)
+}
+
+// Name implements vmapi.Process.
+func (p *process) Name() string { return p.name }
+
+// Exited implements vmapi.Process.
+func (p *process) Exited() bool { return p.exited }
+
+// MapEntryCount implements vmapi.Process.
+func (p *process) MapEntryCount() int {
+	p.sys.big.Lock()
+	defer p.sys.big.Unlock()
+	return p.m.n
+}
+
+// ResidentPages implements vmapi.Process.
+func (p *process) ResidentPages() int { return p.pm.ResidentCount() }
+
+// Mincore implements vmapi.Process: per-page residency of the range.
+func (p *process) Mincore(addr param.VAddr, length param.VSize) ([]bool, error) {
+	if p.exited {
+		return nil, vmapi.ErrExited
+	}
+	if length == 0 {
+		return nil, vmapi.ErrInvalid
+	}
+	p.sys.big.Lock()
+	defer p.sys.big.Unlock()
+	start := param.Trunc(addr)
+	end := param.Round(addr + param.VAddr(length))
+	out := make([]bool, 0, (end-start)>>param.PageShift)
+	for va := start; va < end; va += param.PageSize {
+		_, ok := p.pm.Lookup(va)
+		out = append(out, ok)
+	}
+	return out, nil
+}
+
+// Mmap implements vmapi.Process using BSD VM's two-step process: the
+// mapping is first established with the system's *default* attributes
+// (read-write protection), then — if the caller wanted anything else — the
+// map is relocked, the entry found again and clipped, and the attribute
+// changed (§3.1). Between the steps the mapping is briefly live at
+// read-write: the security window the paper describes.
+func (p *process) Mmap(addr param.VAddr, length param.VSize, prot param.Prot,
+	flags vmapi.MapFlags, vn *vfs.Vnode, off param.PageOff) (param.VAddr, error) {
+
+	if p.exited {
+		return 0, vmapi.ErrExited
+	}
+	if length == 0 || !flags.Valid() || !param.PageAligned(param.VAddr(off)) {
+		return 0, vmapi.ErrInvalid
+	}
+	if flags&vmapi.MapAnon != 0 && vn != nil {
+		return 0, vmapi.ErrInvalid
+	}
+	if flags&vmapi.MapAnon == 0 && vn == nil {
+		return 0, vmapi.ErrInvalid
+	}
+	length = param.RoundSize(length)
+
+	s := p.sys
+	s.big.Lock()
+	defer s.big.Unlock()
+
+	// ---- Step 1: establish the mapping with default attributes. ----
+	m := p.m
+	m.lock()
+	var va param.VAddr
+	if flags&vmapi.MapFixed != 0 {
+		if !param.PageAligned(addr) || addr+param.VAddr(length) > m.allocMax {
+			m.unlock()
+			return 0, vmapi.ErrInvalid
+		}
+		m.unmapRange(addr, addr+param.VAddr(length))
+		va = addr
+	} else {
+		var err error
+		va, err = m.findSpace(addr, length)
+		if err != nil {
+			m.unlock()
+			return 0, err
+		}
+	}
+
+	var obj *object
+	private := flags&vmapi.MapPrivate != 0
+	if flags&vmapi.MapAnon != 0 {
+		// BSD VM allocates the anonymous object eagerly (§5.1).
+		obj = s.newObject(param.Pages(length), true)
+	} else {
+		obj = s.vnodeObject(vn)
+	}
+
+	e := s.allocEntry(m)
+	e.start, e.end = va, va+param.VAddr(length)
+	e.obj = obj
+	e.off = off
+	e.prot = param.ProtRW // the default protection, not the requested one
+	e.maxProt = param.ProtRWX
+	if private {
+		e.inherit = param.InheritCopy
+	} else {
+		e.inherit = param.InheritShare
+	}
+	if private && vn != nil {
+		e.cow, e.needsCopy = true, true
+	}
+	m.insert(e)
+	m.unlock()
+
+	// ---- Step 2: fix up non-default attributes with a second pass. ----
+	if prot != param.ProtRW {
+		if err := m.protect(va, va+param.VAddr(length), prot); err != nil {
+			return 0, err
+		}
+	}
+	return va, nil
+}
+
+// Munmap implements vmapi.Process. BSD VM's unmap is single-phase: the
+// map stays locked while entries are removed AND while the object
+// references are dropped, including any I/O that teardown triggers (§3.1).
+func (p *process) Munmap(addr param.VAddr, length param.VSize) error {
+	if p.exited {
+		return vmapi.ErrExited
+	}
+	if !param.PageAligned(addr) || length == 0 {
+		return vmapi.ErrInvalid
+	}
+	p.sys.big.Lock()
+	defer p.sys.big.Unlock()
+	m := p.m
+	m.lock()
+	m.unmapRange(addr, addr+param.VAddr(param.RoundSize(length)))
+	m.unlock()
+	return nil
+}
+
+// Mprotect implements vmapi.Process.
+func (p *process) Mprotect(addr param.VAddr, length param.VSize, prot param.Prot) error {
+	if p.exited {
+		return vmapi.ErrExited
+	}
+	p.sys.big.Lock()
+	defer p.sys.big.Unlock()
+	return p.m.protect(addr, addr+param.VAddr(param.RoundSize(length)), prot)
+}
+
+// Minherit implements vmapi.Process.
+func (p *process) Minherit(addr param.VAddr, length param.VSize, inh param.Inherit) error {
+	if p.exited {
+		return vmapi.ErrExited
+	}
+	p.sys.big.Lock()
+	defer p.sys.big.Unlock()
+	m := p.m
+	m.lock()
+	defer m.unlock()
+	for _, e := range m.entriesIn(addr, addr+param.VAddr(param.RoundSize(length))) {
+		e.inherit = inh
+	}
+	return nil
+}
+
+// Madvise implements vmapi.Process. (BSD VM stores the advice but its
+// fault handler does not use it — no lookahead.)
+func (p *process) Madvise(addr param.VAddr, length param.VSize, adv param.Advice) error {
+	if p.exited {
+		return vmapi.ErrExited
+	}
+	p.sys.big.Lock()
+	defer p.sys.big.Unlock()
+	m := p.m
+	m.lock()
+	defer m.unlock()
+	for _, e := range m.entriesIn(addr, addr+param.VAddr(param.RoundSize(length))) {
+		e.advice = adv
+	}
+	return nil
+}
+
+// Msync implements vmapi.Process: modified pages of file mappings in the
+// range are written back — one page, one I/O.
+func (p *process) Msync(addr param.VAddr, length param.VSize) error {
+	if p.exited {
+		return vmapi.ErrExited
+	}
+	p.sys.big.Lock()
+	defer p.sys.big.Unlock()
+	m := p.m
+	m.lock()
+	defer m.unlock()
+	end := addr + param.VAddr(param.RoundSize(length))
+	for cur := m.head; cur != nil; cur = cur.next {
+		if cur.end <= addr || cur.start >= end || cur.obj == nil || cur.obj.vnode == nil {
+			continue
+		}
+		// Flush only the object pages the requested range maps.
+		lo, hi := cur.start, cur.end
+		if addr > lo {
+			lo = addr
+		}
+		if end < hi {
+			hi = end
+		}
+		loIdx, hiIdx := cur.pageIndex(lo), cur.pageIndex(hi-1)
+		for idx, pg := range cur.obj.pages {
+			if idx < loIdx || idx > hiIdx || !pg.Dirty {
+				continue
+			}
+			if err := cur.obj.vnode.WritePage(idx, pg.Data); err != nil {
+				return err
+			}
+			pg.Dirty = false
+		}
+	}
+	return nil
+}
+
+// wireRange wires [addr, end) the BSD VM way: the range's entries are
+// clipped (fragmenting the map — permanently), their wired counts raised,
+// and the pages faulted in and wired.
+func (p *process) wireRange(addr, end param.VAddr) error {
+	m := p.m
+	m.lock()
+	entries := m.entriesIn(addr, end)
+	if len(entries) == 0 {
+		m.unlock()
+		return vmapi.ErrFault
+	}
+	for _, e := range entries {
+		e.wired++
+	}
+	m.unlock()
+
+	for va := addr; va < end; va += param.PageSize {
+		if _, ok := p.pm.Lookup(va); !ok {
+			if err := p.sys.fault(p, va, param.ProtRead); err != nil {
+				return err
+			}
+		}
+		pte, _ := p.pm.Lookup(va)
+		if pte.Page != nil {
+			pte.Page.WireCount++
+			p.sys.mach.Mem.Dequeue(pte.Page)
+		}
+		p.pm.ChangeWiring(va, true)
+	}
+	return nil
+}
+
+// unwireRange reverses wireRange — but the entry fragmentation it caused
+// is never repaired.
+func (p *process) unwireRange(addr, end param.VAddr) {
+	m := p.m
+	m.lock()
+	for _, e := range m.entriesIn(addr, end) {
+		if e.wired > 0 {
+			e.wired--
+		}
+	}
+	m.unlock()
+	for va := addr; va < end; va += param.PageSize {
+		if pte, ok := p.pm.Lookup(va); ok && pte.Page != nil && pte.Page.WireCount > 0 {
+			pte.Page.WireCount--
+			if pte.Page.WireCount == 0 {
+				p.sys.mach.Mem.Activate(pte.Page)
+			}
+		}
+		p.pm.ChangeWiring(va, false)
+	}
+}
+
+// Mlock implements vmapi.Process.
+func (p *process) Mlock(addr param.VAddr, length param.VSize) error {
+	if p.exited {
+		return vmapi.ErrExited
+	}
+	p.sys.big.Lock()
+	defer p.sys.big.Unlock()
+	return p.wireRange(param.Trunc(addr), param.Round(addr+param.VAddr(length)))
+}
+
+// Munlock implements vmapi.Process.
+func (p *process) Munlock(addr param.VAddr, length param.VSize) error {
+	if p.exited {
+		return vmapi.ErrExited
+	}
+	p.sys.big.Lock()
+	defer p.sys.big.Unlock()
+	p.unwireRange(param.Trunc(addr), param.Round(addr+param.VAddr(length)))
+	return nil
+}
+
+// Sysctl implements vmapi.Process: BSD wires the user's buffer *in the
+// process map* for the duration of the call (§3.2), fragmenting it.
+func (p *process) Sysctl(addr param.VAddr, length param.VSize) error {
+	if p.exited {
+		return vmapi.ErrExited
+	}
+	p.sys.big.Lock()
+	defer p.sys.big.Unlock()
+	start, end := param.Trunc(addr), param.Round(addr+param.VAddr(length))
+	if err := p.wireRange(start, end); err != nil {
+		return err
+	}
+	// The kernel copies the result out to the wired buffer.
+	p.sys.mach.Clock.ChargeN(param.Pages(param.VSize(end-start)), p.sys.mach.Costs.PageTouch)
+	p.unwireRange(start, end)
+	return nil
+}
+
+// Physio implements vmapi.Process: raw device I/O into a user buffer,
+// which BSD likewise wires through the process map.
+func (p *process) Physio(addr param.VAddr, length param.VSize) error {
+	if p.exited {
+		return vmapi.ErrExited
+	}
+	p.sys.big.Lock()
+	defer p.sys.big.Unlock()
+	start, end := param.Trunc(addr), param.Round(addr+param.VAddr(length))
+	if err := p.wireRange(start, end); err != nil {
+		return err
+	}
+	npages := param.Pages(param.VSize(end - start))
+	p.sys.mach.Clock.Advance(p.sys.mach.Costs.DiskOp)
+	p.sys.mach.Clock.ChargeN(npages, p.sys.mach.Costs.DiskPageIO)
+	p.unwireRange(start, end)
+	return nil
+}
+
+// Fork implements vmapi.Process: the child's address space is built from
+// the parent's entries per their inheritance attributes. Copy-inherited
+// ranges get needs-copy set in both processes and the parent's resident
+// pages write-protected (§5.1, Figure 3).
+func (p *process) Fork(name string) (vmapi.Process, error) {
+	if p.exited {
+		return nil, vmapi.ErrExited
+	}
+	s := p.sys
+	s.big.Lock()
+	defer s.big.Unlock()
+
+	child, err := s.newProcessLocked(name)
+	if err != nil {
+		return nil, err
+	}
+	pm, cm := p.m, child.m
+	pm.lock()
+	cm.lock()
+	for e := pm.head; e != nil; e = e.next {
+		if e.placeholder {
+			continue
+		}
+		switch e.inherit {
+		case param.InheritNone:
+			continue
+		case param.InheritShare:
+			ce := s.allocEntry(cm)
+			*ce = *e
+			ce.prev, ce.next = nil, nil
+			ce.wired = 0
+			if ce.obj != nil {
+				ce.obj.refs++
+			}
+			cm.insert(ce)
+		case param.InheritCopy:
+			ce := s.allocEntry(cm)
+			*ce = *e
+			ce.prev, ce.next = nil, nil
+			ce.wired = 0
+			if e.obj != nil {
+				e.obj.refs++
+				e.cow, e.needsCopy = true, true
+				ce.cow, ce.needsCopy = true, true
+				// Write-protect the parent's resident pages so its next
+				// store faults (the per-page fork overhead both systems
+				// pay, §5.3).
+				p.pm.Protect(e.start, e.end, e.prot&^param.ProtWrite)
+			}
+			cm.insert(ce)
+		}
+	}
+	cm.unlock()
+	pm.unlock()
+	s.mach.Stats.Inc("bsdvm.forks")
+	return child, nil
+}
+
+// Vfork implements vmapi.Process: the child shares the parent's map and
+// pmap outright; only the user structure and kernel stack are new.
+func (p *process) Vfork(name string) (vmapi.Process, error) {
+	if p.exited {
+		return nil, vmapi.ErrExited
+	}
+	if p.vforked {
+		return nil, vmapi.ErrInvalid
+	}
+	s := p.sys
+	s.big.Lock()
+	defer s.big.Unlock()
+	child, err := s.newProcessLocked(name)
+	if err != nil {
+		return nil, err
+	}
+	child.m = p.m
+	child.pm = p.pm
+	child.vforked = true
+	s.mach.Stats.Inc("bsdvm.vforks")
+	return child, nil
+}
+
+// Exit implements vmapi.Process: the whole address space is torn down —
+// with the map lock held throughout, BSD style.
+func (p *process) Exit() {
+	if p.exited {
+		return
+	}
+	s := p.sys
+	s.big.Lock()
+	defer s.big.Unlock()
+
+	if !p.vforked {
+		m := p.m
+		m.lock()
+		m.unmapRange(param.UserTextBase, param.UserMax)
+		m.unlock()
+
+		// Tear down remaining translations; page-table placeholder
+		// entries unwind through the pmap hooks.
+		p.pm.RemoveAll()
+		for len(p.ptEntries) > 0 {
+			p.removePTEntry()
+		}
+	}
+
+	// Release the user structure and kernel stack.
+	s.kmap.lock()
+	for _, u := range p.ustruct {
+		s.kmap.unmapRange(u.va, u.va+param.VAddr(u.pages)*param.PageSize)
+	}
+	s.kmap.unlock()
+	p.ustruct = nil
+
+	delete(s.procs, p)
+	p.exited = true
+	s.mach.Stats.Inc("bsdvm.proc.exited")
+}
+
+// Access implements vmapi.Process: one CPU load or store. A valid
+// translation with sufficient protection is a TLB-speed touch; anything
+// else is a page fault.
+func (p *process) Access(addr param.VAddr, write bool) error {
+	if p.exited {
+		return vmapi.ErrExited
+	}
+	access := param.ProtRead
+	if write {
+		access = param.ProtWrite
+	}
+	s := p.sys
+	s.big.Lock()
+	defer s.big.Unlock()
+	if pte, ok := p.pm.Extract(addr); ok && pte.Prot.Allows(access) {
+		s.mach.Clock.Advance(s.mach.Costs.PageTouch)
+		pte.Page.Referenced = true
+		if write {
+			pte.Page.Dirty = true
+		}
+		return nil
+	}
+	return s.fault(p, addr, access)
+}
+
+// TouchRange implements vmapi.Process.
+func (p *process) TouchRange(addr param.VAddr, length param.VSize, write bool) error {
+	end := addr + param.VAddr(param.RoundSize(length))
+	for va := param.Trunc(addr); va < end; va += param.PageSize {
+		if err := p.Access(va, write); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadBytes implements vmapi.Process.
+func (p *process) ReadBytes(addr param.VAddr, buf []byte) error {
+	return p.copyBytes(addr, buf, false)
+}
+
+// WriteBytes implements vmapi.Process.
+func (p *process) WriteBytes(addr param.VAddr, data []byte) error {
+	return p.copyBytes(addr, data, true)
+}
+
+func (p *process) copyBytes(addr param.VAddr, buf []byte, write bool) error {
+	done := 0
+	for done < len(buf) {
+		va := addr + param.VAddr(done)
+		pageOff := int(va & param.PageMask)
+		n := param.PageSize - pageOff
+		if n > len(buf)-done {
+			n = len(buf) - done
+		}
+		if err := p.Access(va, write); err != nil {
+			return err
+		}
+		pte, ok := p.pm.Lookup(va)
+		if !ok || pte.Page == nil {
+			return vmapi.ErrFault
+		}
+		if write {
+			copy(pte.Page.Data[pageOff:pageOff+n], buf[done:done+n])
+		} else {
+			copy(buf[done:done+n], pte.Page.Data[pageOff:pageOff+n])
+		}
+		done += n
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package bsdvm
+
+import (
+	"errors"
+	"testing"
+
+	"uvm/internal/param"
+	"uvm/internal/vmapi"
+)
+
+func TestVforkSharesAddressSpace(t *testing.T) {
+	s, _ := bootTest(t, 256)
+	parent := newProc(t, s, "parent")
+	va, _ := parent.Mmap(0, param.PageSize, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
+	parent.WriteBytes(va, []byte{1})
+
+	child, err := parent.Vfork("child")
+	if err != nil {
+		t.Fatal(err)
+	}
+	child.WriteBytes(va, []byte{2})
+	b := make([]byte, 1)
+	parent.ReadBytes(va, b)
+	if b[0] != 2 {
+		t.Fatalf("vfork child write not visible: %d", b[0])
+	}
+	child.Exit()
+	if err := parent.Access(va, true); err != nil {
+		t.Fatalf("parent space damaged: %v", err)
+	}
+	checkMaps(t, parent)
+}
+
+func TestVforkStillConsumesKernelEntries(t *testing.T) {
+	// Even vfork allocates the user structure under BSD VM: the two
+	// kernel map entries are per-process, not per-address-space.
+	s, _ := bootTest(t, 256)
+	parent := newProc(t, s, "parent")
+	before := s.KernelMapEntries()
+	child, err := parent.Vfork("child")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.KernelMapEntries(); got != before+2 {
+		t.Fatalf("vfork added %d kernel entries, want 2", got-before)
+	}
+	child.Exit()
+	if got := s.KernelMapEntries(); got != before {
+		t.Fatalf("vfork exit leaked kernel entries: %d vs %d", got, before)
+	}
+}
+
+func TestVforkCheaperThanFork(t *testing.T) {
+	s, m := bootTest(t, 4096)
+	parent := newProc(t, s, "parent")
+	const pages = 512
+	va, _ := parent.Mmap(0, pages*param.PageSize, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
+	parent.TouchRange(va, pages*param.PageSize, true)
+
+	t0 := m.Clock.Now()
+	vc, _ := parent.Vfork("vc")
+	vforkCost := m.Clock.Since(t0)
+	vc.Exit()
+
+	t1 := m.Clock.Now()
+	fc, _ := parent.Fork("fc")
+	forkCost := m.Clock.Since(t1)
+	fc.Exit()
+
+	if vforkCost*5 > forkCost {
+		t.Fatalf("vfork (%v) should be far cheaper than fork (%v)", vforkCost, forkCost)
+	}
+}
+
+func TestNestedVforkRejected(t *testing.T) {
+	s, _ := bootTest(t, 256)
+	parent := newProc(t, s, "parent")
+	child, _ := parent.Vfork("child")
+	if _, err := child.Vfork("grandchild"); !errors.Is(err, vmapi.ErrInvalid) {
+		t.Fatalf("nested vfork: %v", err)
+	}
+	child.Exit()
+}

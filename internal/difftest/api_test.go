@@ -1,0 +1,158 @@
+package difftest
+
+import (
+	"testing"
+
+	"uvm/internal/param"
+	"uvm/internal/vmapi"
+)
+
+// API-surface tests run identically against both systems.
+
+func TestMincore(t *testing.T) {
+	for name, boot := range boots() {
+		name, boot := name, boot
+		t.Run(name, func(t *testing.T) {
+			sys := boot(vmapi.NewMachine(vmapi.MachineConfig{
+				RAMPages: 256, SwapPages: 512, FSPages: 256, MaxVnodes: 8,
+			}))
+			p, _ := sys.NewProcess("p")
+			va, _ := p.Mmap(0, 4*param.PageSize, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
+
+			res, err := p.Mincore(va, 4*param.PageSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, r := range res {
+				if r {
+					t.Errorf("page %d resident before any touch", i)
+				}
+			}
+			// Touch pages 1 and 3.
+			p.Access(va+param.PageSize, true)
+			p.Access(va+3*param.PageSize, true)
+			res, _ = p.Mincore(va, 4*param.PageSize)
+			want := []bool{false, true, false, true}
+			for i := range want {
+				// Lookahead may map more than touched under UVM; a page we
+				// touched must be resident, untouched ones may be either
+				// (UVM's lookahead only maps *resident* pages, and these
+				// were never created, so they stay false on both systems).
+				if want[i] && !res[i] {
+					t.Errorf("page %d: resident=%v want %v", i, res[i], want[i])
+				}
+			}
+			if _, err := p.Mincore(va, 0); err == nil {
+				t.Error("zero-length mincore accepted")
+			}
+		})
+	}
+}
+
+func TestMsyncRangeLimited(t *testing.T) {
+	// Regression for range-limited msync: only dirty pages inside the
+	// range are written back.
+	for name, boot := range boots() {
+		name, boot := name, boot
+		t.Run(name, func(t *testing.T) {
+			mach := vmapi.NewMachine(vmapi.MachineConfig{
+				RAMPages: 256, SwapPages: 512, FSPages: 256, MaxVnodes: 8,
+			})
+			sys := boot(mach)
+			mach.FS.Create("/rng", 4*param.PageSize, nil)
+			vn, _ := mach.FS.Open("/rng")
+			defer vn.Unref()
+			p, _ := sys.NewProcess("p")
+			va, _ := p.Mmap(0, 4*param.PageSize, param.ProtRW, vmapi.MapShared, vn, 0)
+			p.WriteBytes(va, []byte{0x11})                  // page 0 dirty
+			p.WriteBytes(va+3*param.PageSize, []byte{0x33}) // page 3 dirty
+
+			// Sync only page 0.
+			if err := p.Msync(va, param.PageSize); err != nil {
+				t.Fatal(err)
+			}
+			raw := make([]byte, param.PageSize)
+			vn.ReadPage(0, raw)
+			if raw[0] != 0x11 {
+				t.Fatalf("synced page not on disk: %#x", raw[0])
+			}
+			vn.ReadPage(3, raw)
+			if raw[0] == 0x33 {
+				t.Fatal("msync wrote back a page outside the requested range")
+			}
+			// Now sync the rest.
+			if err := p.Msync(va+3*param.PageSize, param.PageSize); err != nil {
+				t.Fatal(err)
+			}
+			vn.ReadPage(3, raw)
+			if raw[0] != 0x33 {
+				t.Fatalf("second msync missed: %#x", raw[0])
+			}
+		})
+	}
+}
+
+func TestVforkSemanticsMatch(t *testing.T) {
+	for name, boot := range boots() {
+		name, boot := name, boot
+		t.Run(name, func(t *testing.T) {
+			sys := boot(vmapi.NewMachine(vmapi.MachineConfig{
+				RAMPages: 256, SwapPages: 512, FSPages: 256, MaxVnodes: 8,
+			}))
+			p, _ := sys.NewProcess("p")
+			va, _ := p.Mmap(0, param.PageSize, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
+			p.WriteBytes(va, []byte{1})
+			c, err := p.Vfork("c")
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.WriteBytes(va, []byte{2})
+			b := make([]byte, 1)
+			p.ReadBytes(va, b)
+			if b[0] != 2 {
+				t.Fatalf("vfork not shared: %d", b[0])
+			}
+			c.Exit()
+			p.ReadBytes(va, b)
+			if b[0] != 2 {
+				t.Fatalf("data lost at vfork exit: %d", b[0])
+			}
+		})
+	}
+}
+
+func TestSecondSwapDeviceSpillover(t *testing.T) {
+	// swapctl -a: adding a second swap device under pressure lets the
+	// workload proceed past the first device's capacity, on both systems.
+	for name, boot := range boots() {
+		name, boot := name, boot
+		t.Run(name, func(t *testing.T) {
+			mach := vmapi.NewMachine(vmapi.MachineConfig{
+				RAMPages: 64, SwapPages: 64, FSPages: 256, MaxVnodes: 8,
+			})
+			sys := boot(mach)
+			// A second, larger swap device at lower priority.
+			mach.Swap.AddDevice(mach.FSDisk, 10) // reuse a spare disk as swap
+			p, _ := sys.NewProcess("pig")
+			const pages = 160 // needs RAM + both devices
+			va, _ := p.Mmap(0, pages*param.PageSize, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
+			for i := 0; i < pages; i++ {
+				if err := p.WriteBytes(va+param.VAddr(i)*param.PageSize, []byte{byte(i)}); err != nil {
+					t.Fatalf("page %d with two swap devices: %v", i, err)
+				}
+			}
+			b := make([]byte, 1)
+			for i := 0; i < pages; i++ {
+				if err := p.ReadBytes(va+param.VAddr(i)*param.PageSize, b); err != nil {
+					t.Fatalf("read %d: %v", i, err)
+				}
+				if b[0] != byte(i) {
+					t.Fatalf("page %d corrupted across swap devices: %#x", i, b[0])
+				}
+			}
+			if mach.Swap.Devices() != 2 {
+				t.Fatal("device count wrong")
+			}
+		})
+	}
+}

@@ -1,0 +1,320 @@
+// Package difftest runs identical randomized workloads against both VM
+// systems and checks that every *user-visible* outcome — data read
+// through mappings, fault/no-fault behaviour, error returns — is
+// identical. The two systems differ (by design) in structure counts and
+// costs; they must never differ in semantics. This is the strongest
+// correctness net in the repository: any divergence in COW, inheritance,
+// protection or paging behaviour between the implementations surfaces
+// here.
+package difftest
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"uvm/internal/bsdvm"
+	"uvm/internal/param"
+	"uvm/internal/sim"
+	"uvm/internal/uvm"
+	"uvm/internal/vfs"
+	"uvm/internal/vmapi"
+)
+
+// world is one system under differential test plus its live handles.
+type world struct {
+	sys    vmapi.System
+	procs  []vmapi.Process
+	vnodes []*vfs.Vnode
+}
+
+func newWorld(boot vmapi.Booter, files int) (*world, error) {
+	mach := vmapi.NewMachine(vmapi.MachineConfig{
+		RAMPages:  1024,
+		SwapPages: 8192,
+		FSPages:   8192,
+		MaxVnodes: 64,
+	})
+	w := &world{sys: boot(mach)}
+	for i := 0; i < files; i++ {
+		name := fmt.Sprintf("/data/f%d", i)
+		err := mach.FS.Create(name, (2+i%4)*param.PageSize, func(idx int, buf []byte) {
+			for j := range buf {
+				buf[j] = byte(i*13 + idx*7)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		vn, err := mach.FS.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		w.vnodes = append(w.vnodes, vn)
+	}
+	p, err := w.sys.NewProcess("p0")
+	if err != nil {
+		return nil, err
+	}
+	w.procs = append(w.procs, p)
+	return w, nil
+}
+
+// region tracks a mapping made identically in both worlds.
+type region struct {
+	proc int
+	va   param.VAddr
+	sz   param.VSize
+	prot param.Prot
+}
+
+// errClass folds errors into comparable classes.
+func errClass(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, vmapi.ErrFault):
+		return "fault"
+	case errors.Is(err, vmapi.ErrInvalid):
+		return "invalid"
+	case errors.Is(err, vmapi.ErrNoSpace):
+		return "nospace"
+	case errors.Is(err, vmapi.ErrExited):
+		return "exited"
+	default:
+		return "other:" + err.Error()
+	}
+}
+
+func TestDifferentialRandomWorkload(t *testing.T) {
+	const steps = 1200
+	for _, s := range []uint64{1999, 4242, 777777} {
+		s := s
+		t.Run(fmt.Sprintf("seed%d", s), func(t *testing.T) { runDiff(t, s, steps) })
+	}
+}
+
+func runDiff(t *testing.T, seed uint64, steps int) {
+	bw, err := newWorld(bsdvm.Boot, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uw, err := newWorld(uvm.Boot, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(seed)
+	var regions []region
+
+	both := func(desc string, f func(*world) (string, string)) {
+		t.Helper()
+		bRes, bData := f(bw)
+		uRes, uData := f(uw)
+		if bRes != uRes {
+			t.Fatalf("%s: result diverged: bsdvm=%q uvm=%q", desc, bRes, uRes)
+		}
+		if bData != uData {
+			t.Fatalf("%s: data diverged:\n bsdvm=%q\n uvm=%q", desc, bData, uData)
+		}
+	}
+
+	for step := 0; step < steps; step++ {
+		if t.Failed() {
+			return
+		}
+		op := rng.Intn(12)
+		switch op {
+		case 0, 1: // anonymous mmap
+			pages := 1 + rng.Intn(6)
+			pi := rng.Intn(len(bw.procs))
+			var got param.VAddr
+			both(fmt.Sprintf("step %d: anon mmap", step), func(w *world) (string, string) {
+				va, err := w.procs[pi].Mmap(0, param.VSize(pages)*param.PageSize,
+					param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
+				got = va
+				return errClass(err), fmt.Sprint(va)
+			})
+			regions = append(regions, region{pi, got, param.VSize(pages) * param.PageSize, param.ProtRW})
+		case 2: // file mmap (private or shared)
+			if len(bw.vnodes) == 0 {
+				continue
+			}
+			fi := rng.Intn(len(bw.vnodes))
+			pi := rng.Intn(len(bw.procs))
+			flags := vmapi.MapPrivate
+			if rng.Bool(1, 2) {
+				flags = vmapi.MapShared
+			}
+			var got param.VAddr
+			both(fmt.Sprintf("step %d: file mmap", step), func(w *world) (string, string) {
+				va, err := w.procs[pi].Mmap(0, 2*param.PageSize, param.ProtRW, flags, w.vnodes[fi], 0)
+				got = va
+				return errClass(err), fmt.Sprint(va)
+			})
+			regions = append(regions, region{pi, got, 2 * param.PageSize, param.ProtRW})
+		case 3, 4, 5: // read or write somewhere
+			if len(regions) == 0 {
+				continue
+			}
+			r := regions[rng.Intn(len(regions))]
+			if r.proc >= len(bw.procs) {
+				continue
+			}
+			off := param.VAddr(rng.Intn(int(r.sz)))
+			write := rng.Bool(1, 2)
+			val := byte(rng.Intn(256))
+			both(fmt.Sprintf("step %d: access", step), func(w *world) (string, string) {
+				p := w.procs[r.proc]
+				if write {
+					err := p.WriteBytes(r.va+off, []byte{val})
+					return errClass(err), ""
+				}
+				b := make([]byte, 3)
+				err := p.ReadBytes(r.va+off, b)
+				if err != nil {
+					return errClass(err), ""
+				}
+				return "ok", fmt.Sprint(b)
+			})
+		case 6: // munmap part of a region
+			if len(regions) == 0 {
+				continue
+			}
+			i := rng.Intn(len(regions))
+			r := regions[i]
+			both(fmt.Sprintf("step %d: munmap", step), func(w *world) (string, string) {
+				err := w.procs[r.proc].Munmap(r.va, r.sz)
+				return errClass(err), ""
+			})
+			regions = append(regions[:i], regions[i+1:]...)
+		case 7: // mprotect cycle
+			if len(regions) == 0 {
+				continue
+			}
+			r := regions[rng.Intn(len(regions))]
+			both(fmt.Sprintf("step %d: mprotect", step), func(w *world) (string, string) {
+				p := w.procs[r.proc]
+				e1 := p.Mprotect(r.va, r.sz, param.ProtRead)
+				// A write through the read-only mapping must fault in both.
+				e2 := p.Access(r.va, true)
+				e3 := p.Mprotect(r.va, r.sz, param.ProtRW)
+				return errClass(e1) + "/" + errClass(e2) + "/" + errClass(e3), ""
+			})
+		case 8: // fork
+			if len(bw.procs) >= 6 {
+				continue
+			}
+			pi := rng.Intn(len(bw.procs))
+			name := fmt.Sprintf("p%d", step)
+			ok := true
+			both(fmt.Sprintf("step %d: fork", step), func(w *world) (string, string) {
+				c, err := w.procs[pi].Fork(name)
+				if err != nil {
+					ok = false
+					return errClass(err), ""
+				}
+				w.procs = append(w.procs, c)
+				return "ok", ""
+			})
+			_ = ok
+		case 9: // exit a non-root process
+			if len(bw.procs) <= 1 {
+				continue
+			}
+			i := 1 + rng.Intn(len(bw.procs)-1)
+			both(fmt.Sprintf("step %d: exit", step), func(w *world) (string, string) {
+				w.procs[i].Exit()
+				w.procs = append(w.procs[:i], w.procs[i+1:]...)
+				return "ok", ""
+			})
+			// Regions belonging to removed/reindexed procs are dropped to
+			// keep indices aligned (identically for both worlds).
+			var keep []region
+			for _, r := range regions {
+				if r.proc < i {
+					keep = append(keep, r)
+				}
+			}
+			regions = keep
+		case 10: // minherit + fork semantics
+			if len(regions) == 0 || len(bw.procs) >= 6 {
+				continue
+			}
+			r := regions[rng.Intn(len(regions))]
+			inh := []param.Inherit{param.InheritCopy, param.InheritShare, param.InheritNone}[rng.Intn(3)]
+			both(fmt.Sprintf("step %d: minherit %v", step, inh), func(w *world) (string, string) {
+				err := w.procs[r.proc].Minherit(r.va, r.sz, inh)
+				return errClass(err), ""
+			})
+		case 11: // unmapped access faults identically
+			both(fmt.Sprintf("step %d: wild access", step), func(w *world) (string, string) {
+				err := w.procs[0].Access(0x7f00_0000+param.VAddr(rng.Intn(100))*param.PageSize, rng.Bool(1, 2))
+				return errClass(err), ""
+			})
+		}
+	}
+
+	// Final sweep: every mapped byte must read identically.
+	for _, r := range regions {
+		if r.proc >= len(bw.procs) {
+			continue
+		}
+		buf := make([]byte, 16)
+		both("final sweep", func(w *world) (string, string) {
+			err := w.procs[r.proc].ReadBytes(r.va, buf)
+			return errClass(err), fmt.Sprint(buf)
+		})
+	}
+}
+
+func TestDifferentialUnderMemoryPressure(t *testing.T) {
+	// Same comparison with RAM small enough that both systems page
+	// constantly: swap round-trips must preserve identical data.
+	mk := func(boot vmapi.Booter) (vmapi.System, vmapi.Process) {
+		mach := vmapi.NewMachine(vmapi.MachineConfig{
+			RAMPages: 96, SwapPages: 2048, FSPages: 1024, MaxVnodes: 16,
+		})
+		sys := boot(mach)
+		p, err := sys.NewProcess("pig")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys, p
+	}
+	_, bp := mk(bsdvm.Boot)
+	_, up := mk(uvm.Boot)
+
+	const pages = 256
+	bva, err := bp.Mmap(0, pages*param.PageSize, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uva, err := up.Mmap(0, pages*param.PageSize, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(20250612)
+	// Random writes across 1 MB on a 384 KB machine.
+	for i := 0; i < 2000; i++ {
+		pg := rng.Intn(pages)
+		val := []byte{byte(pg), byte(i)}
+		if err := bp.WriteBytes(bva+param.VAddr(pg)*param.PageSize, val); err != nil {
+			t.Fatalf("bsd write %d: %v", i, err)
+		}
+		if err := up.WriteBytes(uva+param.VAddr(pg)*param.PageSize, val); err != nil {
+			t.Fatalf("uvm write %d: %v", i, err)
+		}
+	}
+	bb, ub := make([]byte, 2), make([]byte, 2)
+	for pg := 0; pg < pages; pg++ {
+		if err := bp.ReadBytes(bva+param.VAddr(pg)*param.PageSize, bb); err != nil {
+			t.Fatalf("bsd read %d: %v", pg, err)
+		}
+		if err := up.ReadBytes(uva+param.VAddr(pg)*param.PageSize, ub); err != nil {
+			t.Fatalf("uvm read %d: %v", pg, err)
+		}
+		if bb[0] != ub[0] || bb[1] != ub[1] {
+			t.Fatalf("page %d diverged through swap: bsd=%v uvm=%v", pg, bb, ub)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package difftest
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"uvm/internal/bsdvm"
+	"uvm/internal/param"
+	"uvm/internal/uvm"
+	"uvm/internal/vmapi"
+)
+
+// Failure injection: disk I/O errors and resource exhaustion must surface
+// as errors — never as corruption, panics, or hangs — in both systems.
+
+func boots() map[string]vmapi.Booter {
+	return map[string]vmapi.Booter{"bsdvm": bsdvm.Boot, "uvm": uvm.Boot}
+}
+
+func TestPageinIOErrorSurfaces(t *testing.T) {
+	for name, boot := range boots() {
+		name, boot := name, boot
+		t.Run(name, func(t *testing.T) {
+			mach := vmapi.NewMachine(vmapi.MachineConfig{
+				RAMPages: 256, SwapPages: 1024, FSPages: 1024, MaxVnodes: 16,
+			})
+			sys := boot(mach)
+			mach.FS.Create("/bad.bin", 4*param.PageSize, func(idx int, b []byte) { b[0] = byte(idx) })
+			vn, _ := mach.FS.Open("/bad.bin")
+			defer vn.Unref()
+
+			boom := errors.New("read error: bad sector")
+			badBlock := int64(-1)
+			mach.FSDisk.FailRead = func(block int64) error {
+				if badBlock == -1 {
+					badBlock = block + 2 // poison the third page of the file
+				}
+				if block == badBlock {
+					return boom
+				}
+				return nil
+			}
+
+			p, _ := sys.NewProcess("reader")
+			va, _ := p.Mmap(0, 4*param.PageSize, param.ProtRead, vmapi.MapShared, vn, 0)
+			// Healthy pages read fine.
+			if err := p.Access(va, false); err != nil {
+				t.Fatalf("healthy page: %v", err)
+			}
+			// The poisoned page surfaces the I/O error from the fault.
+			if err := p.Access(va+2*param.PageSize, false); !errors.Is(err, boom) {
+				t.Fatalf("poisoned page: %v, want injected error", err)
+			}
+			// The system survives: other pages still work afterwards.
+			if err := p.Access(va+3*param.PageSize, false); err != nil {
+				t.Fatalf("page after poison: %v", err)
+			}
+			// The poisoned page can be retried (still failing, not wedged).
+			if err := p.Access(va+2*param.PageSize, false); !errors.Is(err, boom) {
+				t.Fatalf("retry: %v", err)
+			}
+		})
+	}
+}
+
+func TestSwapExhaustion(t *testing.T) {
+	for name, boot := range boots() {
+		name, boot := name, boot
+		t.Run(name, func(t *testing.T) {
+			// RAM 64 pages, swap 64 slots: ~128 dirty anonymous pages fit
+			// at most; far more must eventually fail with a deadlock
+			// error rather than hang or corrupt.
+			mach := vmapi.NewMachine(vmapi.MachineConfig{
+				RAMPages: 64, SwapPages: 64, FSPages: 256, MaxVnodes: 16,
+			})
+			sys := boot(mach)
+			p, _ := sys.NewProcess("glutton")
+			const pages = 512
+			va, err := p.Mmap(0, pages*param.PageSize, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var failed error
+			touched := 0
+			for i := 0; i < pages; i++ {
+				if err := p.Access(va+param.VAddr(i)*param.PageSize, true); err != nil {
+					failed = err
+					break
+				}
+				touched++
+			}
+			if failed == nil {
+				t.Fatalf("touched %d pages with RAM+swap for ~128: no failure?", touched)
+			}
+			if !errors.Is(failed, vmapi.ErrDeadlock) {
+				t.Fatalf("failure was %v, want ErrDeadlock", failed)
+			}
+			if touched < 100 {
+				t.Fatalf("failed after only %d pages; RAM+swap should carry ~128", touched)
+			}
+			// Recently touched (resident) data is still readable; older
+			// pages may need a pagein the exhausted system cannot satisfy,
+			// which is the real thrashing-deadlock behaviour.
+			b := make([]byte, 1)
+			if err := p.ReadBytes(va+param.VAddr(touched-1)*param.PageSize, b); err != nil {
+				t.Fatalf("resident data unreadable after exhaustion: %v", err)
+			}
+			// Releasing memory recovers the system.
+			p.Exit()
+			if got := mach.Swap.SlotsInUse(); got != 0 {
+				t.Fatalf("swap not released after exit: %d", got)
+			}
+			p2, _ := sys.NewProcess("next")
+			va2, _ := p2.Mmap(0, 8*param.PageSize, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
+			if err := p2.TouchRange(va2, 8*param.PageSize, true); err != nil {
+				t.Fatalf("system did not recover: %v", err)
+			}
+		})
+	}
+}
+
+func TestPageoutWriteErrorKeepsData(t *testing.T) {
+	for name, boot := range boots() {
+		name, boot := name, boot
+		t.Run(name, func(t *testing.T) {
+			mach := vmapi.NewMachine(vmapi.MachineConfig{
+				RAMPages: 64, SwapPages: 1024, FSPages: 256, MaxVnodes: 16,
+			})
+			sys := boot(mach)
+			// All swap writes fail: the pagedaemon cannot clean anything,
+			// but resident data must stay intact and the failure must be
+			// a clean error.
+			boom := errors.New("write error: swap device gone")
+			mach.SwapDisk.FailWrite = func(int64) error { return boom }
+
+			p, _ := sys.NewProcess("writer")
+			const pages = 128
+			va, _ := p.Mmap(0, pages*param.PageSize, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
+			written := 0
+			for i := 0; i < pages; i++ {
+				if err := p.WriteBytes(va+param.VAddr(i)*param.PageSize, []byte{byte(i)}); err != nil {
+					break
+				}
+				written++
+			}
+			if written < 40 {
+				t.Fatalf("only %d pages written before failure; RAM alone holds ~64", written)
+			}
+			// Everything that was written must read back exactly.
+			b := make([]byte, 1)
+			for i := 0; i < written; i++ {
+				if err := p.ReadBytes(va+param.VAddr(i)*param.PageSize, b); err != nil {
+					t.Fatalf("page %d unreadable: %v", i, err)
+				}
+				if b[0] != byte(i) {
+					t.Fatalf("page %d corrupted after swap failure: %#x", i, b[0])
+				}
+			}
+		})
+	}
+}
+
+func TestFaultErrorClassesMatch(t *testing.T) {
+	// Error classes for the common misuse cases must be identical across
+	// systems (complements the randomized differential test).
+	cases := []struct {
+		name string
+		run  func(p vmapi.Process) error
+	}{
+		{"wild-read", func(p vmapi.Process) error { return p.Access(0x6666_0000, false) }},
+		{"wild-write", func(p vmapi.Process) error { return p.Access(0x6666_0000, true) }},
+		{"unaligned-munmap", func(p vmapi.Process) error { return p.Munmap(0x1001, param.PageSize) }},
+		{"zero-len-mmap", func(p vmapi.Process) error {
+			_, err := p.Mmap(0, 0, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
+			return err
+		}},
+		{"mlock-unmapped", func(p vmapi.Process) error { return p.Mlock(0x6666_0000, param.PageSize) }},
+		{"sysctl-unmapped", func(p vmapi.Process) error { return p.Sysctl(0x6666_0000, param.PageSize) }},
+	}
+	for _, c := range cases {
+		classes := map[string]string{}
+		for name, boot := range boots() {
+			sys := boot(vmapi.NewMachine(vmapi.MachineConfig{
+				RAMPages: 64, SwapPages: 64, FSPages: 64, MaxVnodes: 8,
+			}))
+			p, _ := sys.NewProcess("p")
+			classes[name] = errClass(c.run(p))
+		}
+		if classes["bsdvm"] != classes["uvm"] {
+			t.Errorf("%s: error classes diverge: %v", c.name, classes)
+		}
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt for the failure messages above

@@ -1,0 +1,232 @@
+// Package disk models a late-1990s fixed disk at page granularity.
+//
+// The model is deliberately simple — a positioning (seek + rotational)
+// cost for every discontiguous access and a media-rate cost per 4 KB page
+// transferred — because that is the only disk behaviour the paper's
+// results depend on: BSD VM pays one positioning cost per page written
+// (it pages out one page per I/O), while UVM's clustered pageout pays one
+// positioning cost per 64-page cluster (Figure 5), and Figure 2's knee is
+// driven purely by whether a file access goes to memory or to the disk at
+// all.
+//
+// Blocks are page-sized. Data is stored for real, so swap round-trips and
+// file reads are verified byte-for-byte by the test suite.
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"uvm/internal/param"
+	"uvm/internal/sim"
+)
+
+// ErrOutOfRange is returned for I/O beyond the end of the device.
+var ErrOutOfRange = errors.New("disk: block out of range")
+
+// ErrNoSpace is returned when an extent allocation cannot be satisfied.
+var ErrNoSpace = errors.New("disk: no space")
+
+// Disk is a simulated page-granular block device.
+type Disk struct {
+	clock *sim.Clock
+	costs *sim.Costs
+	stats *sim.Stats
+
+	mu      sync.Mutex
+	nblocks int64
+	blocks  map[int64][]byte // lazily allocated; absent block reads as zeros
+	head    int64            // block the head sits after (sequential detection)
+	nextfit int64            // bump pointer for Alloc
+
+	// FailRead and FailWrite, when non-nil, are consulted before every
+	// transfer and may inject an I/O error for a given block. Used by the
+	// failure-injection tests.
+	FailRead  func(block int64) error
+	FailWrite func(block int64) error
+}
+
+// New creates a disk with nblocks page-sized blocks.
+func New(clock *sim.Clock, costs *sim.Costs, stats *sim.Stats, nblocks int64) *Disk {
+	if nblocks <= 0 {
+		panic("disk: non-positive size")
+	}
+	return &Disk{
+		clock:   clock,
+		costs:   costs,
+		stats:   stats,
+		nblocks: nblocks,
+		blocks:  make(map[int64][]byte),
+		head:    -1,
+	}
+}
+
+// Blocks returns the device size in blocks.
+func (d *Disk) Blocks() int64 { return d.nblocks }
+
+// Alloc reserves a contiguous extent of n blocks and returns its first
+// block. This is a simple bump allocator: the simulated filesystem lays
+// files out contiguously, which is the behaviour FFS approximates for the
+// small files the experiments use.
+func (d *Disk) Alloc(n int64) (int64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("disk: bad extent size %d", n)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.nextfit+n > d.nblocks {
+		return 0, ErrNoSpace
+	}
+	start := d.nextfit
+	d.nextfit += n
+	return start, nil
+}
+
+// ReadPages transfers len(bufs) consecutive blocks starting at start into
+// the supplied page buffers. Each buffer must be param.PageSize long.
+func (d *Disk) ReadPages(start int64, bufs [][]byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkRange(start, int64(len(bufs))); err != nil {
+		return err
+	}
+	d.charge(start, len(bufs))
+	d.stats.Inc(sim.CtrDiskReads)
+	d.stats.Add(sim.CtrDiskPagesRead, int64(len(bufs)))
+	for i, buf := range bufs {
+		if len(buf) != param.PageSize {
+			return fmt.Errorf("disk: buffer %d has size %d", i, len(buf))
+		}
+		blk := start + int64(i)
+		if d.FailRead != nil {
+			if err := d.FailRead(blk); err != nil {
+				return err
+			}
+		}
+		if src, ok := d.blocks[blk]; ok {
+			copy(buf, src)
+		} else {
+			for j := range buf {
+				buf[j] = 0
+			}
+		}
+	}
+	return nil
+}
+
+// WritePages transfers len(data) consecutive blocks starting at start from
+// the supplied page buffers.
+func (d *Disk) WritePages(start int64, data [][]byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkRange(start, int64(len(data))); err != nil {
+		return err
+	}
+	d.charge(start, len(data))
+	d.stats.Inc(sim.CtrDiskWrites)
+	d.stats.Add(sim.CtrDiskPagesWrite, int64(len(data)))
+	for i, src := range data {
+		if len(src) != param.PageSize {
+			return fmt.Errorf("disk: buffer %d has size %d", i, len(src))
+		}
+		blk := start + int64(i)
+		if d.FailWrite != nil {
+			if err := d.FailWrite(blk); err != nil {
+				return err
+			}
+		}
+		dst, ok := d.blocks[blk]
+		if !ok {
+			dst = make([]byte, param.PageSize)
+			d.blocks[blk] = dst
+		}
+		copy(dst, src)
+	}
+	return nil
+}
+
+// ReadPagesDeferred reads like ReadPages but charges no time to the
+// calling context: it models an asynchronous read-ahead issued on the
+// caller's behalf, whose latency is overlapped with the caller's
+// execution. Deferred reads are counted separately in the stats.
+func (d *Disk) ReadPagesDeferred(start int64, bufs [][]byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkRange(start, int64(len(bufs))); err != nil {
+		return err
+	}
+	d.stats.Inc("disk.reads.deferred")
+	for i, buf := range bufs {
+		if len(buf) != param.PageSize {
+			return fmt.Errorf("disk: buffer %d has size %d", i, len(buf))
+		}
+		blk := start + int64(i)
+		if d.FailRead != nil {
+			if err := d.FailRead(blk); err != nil {
+				return err
+			}
+		}
+		if src, ok := d.blocks[blk]; ok {
+			copy(buf, src)
+		} else {
+			for j := range buf {
+				buf[j] = 0
+			}
+		}
+	}
+	return nil
+}
+
+// WritePagesDeferred stores data like WritePages but charges no time to
+// the calling context: the transfer is performed "later" by the syncer /
+// buffer-cache flush, whose background time the simulation does not
+// model. Deferred writes are counted separately in the stats.
+func (d *Disk) WritePagesDeferred(start int64, data [][]byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkRange(start, int64(len(data))); err != nil {
+		return err
+	}
+	d.stats.Inc("disk.writes.deferred")
+	for i, src := range data {
+		if len(src) != param.PageSize {
+			return fmt.Errorf("disk: buffer %d has size %d", i, len(src))
+		}
+		blk := start + int64(i)
+		if d.FailWrite != nil {
+			if err := d.FailWrite(blk); err != nil {
+				return err
+			}
+		}
+		dst, ok := d.blocks[blk]
+		if !ok {
+			dst = make([]byte, param.PageSize)
+			d.blocks[blk] = dst
+		}
+		copy(dst, src)
+	}
+	return nil
+}
+
+func (d *Disk) checkRange(start, n int64) error {
+	if start < 0 || n < 0 || start+n > d.nblocks {
+		return ErrOutOfRange
+	}
+	return nil
+}
+
+// charge accounts the time for one I/O command touching n blocks at
+// start: a fixed per-command cost (controller overhead plus rotational
+// latency — paid even for back-to-back sequential single-page commands,
+// which is why unclustered pageout is slow), a positioning cost unless the
+// head already sits there, and the media transfer rate per page.
+func (d *Disk) charge(start int64, n int) {
+	d.clock.Advance(d.costs.DiskOp)
+	if d.head != start {
+		d.clock.Advance(d.costs.DiskSeek)
+		d.stats.Inc(sim.CtrDiskSeeks)
+	}
+	d.clock.ChargeN(n, d.costs.DiskPageIO)
+	d.head = start + int64(n)
+}

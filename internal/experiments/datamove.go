@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"uvm/internal/param"
+	"uvm/internal/uvm"
+	"uvm/internal/vmapi"
+)
+
+// DMRow is one row of the §7 data movement comparison: sending n pages to
+// the networking subsystem by copying versus by page loanout, plus the
+// map-entry-passing cost for the same range.
+type DMRow struct {
+	Pages       int
+	Copy        time.Duration
+	Loan        time.Duration
+	LoanSaving  float64 // fraction saved vs copy (paper: 26% @ 1 page, 78% @ 256)
+	MEP         time.Duration
+	TransferRcv time.Duration
+}
+
+// syscallOverhead models the fixed cost of entering the kernel and
+// traversing the socket layer down to the driver — identical for both
+// transmission paths. Calibrated from 1999-era in-kernel TCP send-path
+// measurements on similar hardware.
+const syscallOverhead = 11 * time.Microsecond
+
+// DataMovement measures the §7 mechanisms on a single UVM instance: for
+// each transfer size, the time to hand the data to the kernel by bulk
+// copy versus by page loanout; the time to pass the range to another
+// process via map entry passing; and the receiver-side cost of page
+// transfer.
+func DataMovement(sizes []int) ([]DMRow, error) {
+	var rows []DMRow
+	for _, n := range sizes {
+		mach := vmapi.NewMachine(stdConfig())
+		sys := uvm.BootConfig(mach, uvm.DefaultConfig())
+		senderI, err := sys.NewProcess("sender")
+		if err != nil {
+			return nil, err
+		}
+		sender := senderI.(*uvm.Process)
+		size := param.VSize(n) * param.PageSize
+		va, err := sender.Mmap(0, size, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := sender.TouchRange(va, size, true); err != nil {
+			return nil, err
+		}
+
+		// --- copy path: the kernel allocates mbuf pages and copies the
+		// user data into them (traditional socket send).
+		clock, costs := mach.Clock, mach.Costs
+		t0 := clock.Now()
+		clock.Advance(syscallOverhead)
+		kpages, err := sys.AllocKernelPages(n, nil)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			// copyin of one page from the (resident) user buffer.
+			clock.Advance(costs.PmapExtract)
+			clock.Advance(costs.PageCopy)
+		}
+		copyCost := clock.Since(t0)
+		for _, pg := range kpages { // driver frees the mbufs after transmit
+			pg.WireCount = 0
+			mach.Mem.Free(pg)
+		}
+
+		// --- loan path: the same send with page loanout.
+		t1 := clock.Now()
+		clock.Advance(syscallOverhead)
+		loaned, err := sender.Loanout(va, n)
+		if err != nil {
+			return nil, err
+		}
+		sender.LoanReturn(loaned) // transmit complete
+		loanCost := clock.Since(t1)
+
+		// --- map entry passing of the same range to a peer.
+		peer, err := sys.NewProcess("peer")
+		if err != nil {
+			return nil, err
+		}
+		t2 := clock.Now()
+		clock.Advance(syscallOverhead)
+		tok, err := sender.Export(va, size, uvm.ExportShare)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := peer.(*uvm.Process).Import(tok); err != nil {
+			return nil, err
+		}
+		mepCost := clock.Since(t2)
+
+		// --- page transfer: receiver-side insertion of loaned pages.
+		recv, err := sys.NewProcess("recv")
+		if err != nil {
+			return nil, err
+		}
+		loaned2, err := sender.Loanout(va, n)
+		if err != nil {
+			return nil, err
+		}
+		t3 := clock.Now()
+		clock.Advance(syscallOverhead)
+		if _, err := recv.(*uvm.Process).Transfer(loaned2, param.ProtRW); err != nil {
+			return nil, err
+		}
+		xferCost := clock.Since(t3)
+
+		rows = append(rows, DMRow{
+			Pages:       n,
+			Copy:        copyCost,
+			Loan:        loanCost,
+			LoanSaving:  1 - float64(loanCost)/float64(copyCost),
+			MEP:         mepCost,
+			TransferRcv: xferCost,
+		})
+	}
+	return rows, nil
+}
+
+// ReportDataMovement renders the comparison.
+func ReportDataMovement(w io.Writer) error {
+	rows, err := DataMovement([]int{1, 4, 16, 64, 256})
+	if err != nil {
+		return err
+	}
+	header(w, "§7: VM-based data movement vs data copying")
+	fmt.Fprintf(w, "%7s %12s %12s %10s %12s %12s\n",
+		"pages", "copy", "loanout", "saving", "map-entry", "transfer")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%7d %12s %12s %9.0f%% %12s %12s\n",
+			r.Pages,
+			r.Copy.Round(10*time.Nanosecond), r.Loan.Round(10*time.Nanosecond),
+			r.LoanSaving*100,
+			r.MEP.Round(10*time.Nanosecond), r.TransferRcv.Round(10*time.Nanosecond))
+	}
+	fmt.Fprintln(w, "(paper: single-page loanout took 26% less time than copying; a 256-page")
+	fmt.Fprintln(w, " loanout took 78% less)")
+	return nil
+}

@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The experiment tests verify the paper's qualitative claims — who wins,
+// where the knees are — on trimmed parameter sweeps.
+
+func TestTable1MatchesPaperRows(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.UVM >= r.BSD {
+			t.Errorf("%s: UVM %d >= BSD %d", r.Operation, r.UVM, r.BSD)
+		}
+	}
+	// The per-process rows are modelled mechanically and must be exact.
+	if rows[0].BSD != 11 || rows[0].UVM != 6 {
+		t.Errorf("cat row = %d/%d, want 11/6", rows[0].BSD, rows[0].UVM)
+	}
+	if rows[1].BSD != 21 || rows[1].UVM != 12 {
+		t.Errorf("od row = %d/%d, want 21/12", rows[1].BSD, rows[1].UVM)
+	}
+	if rows[2].BSD != 50 || rows[2].UVM != 26 {
+		t.Errorf("single-user row = %d/%d, want 50/26", rows[2].BSD, rows[2].UVM)
+	}
+	// Scenario rows: within 10% of the paper.
+	for _, r := range rows[3:] {
+		if !within(r.BSD, r.PaperBSD, 0.10) || !within(r.UVM, r.PaperUVM, 0.10) {
+			t.Errorf("%s: %d/%d vs paper %d/%d (>10%% off)",
+				r.Operation, r.BSD, r.UVM, r.PaperBSD, r.PaperUVM)
+		}
+	}
+}
+
+func within(got, want int, tol float64) bool {
+	d := float64(got-want) / float64(want)
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.BSD != r.PaperBSD {
+			t.Errorf("%s: BSD faults %d, paper %d", r.Command, r.BSD, r.PaperBSD)
+		}
+		if r.UVM != r.PaperUVM {
+			t.Errorf("%s: UVM faults %d, paper %d", r.Command, r.UVM, r.PaperUVM)
+		}
+	}
+}
+
+func TestTable3Orderings(t *testing.T) {
+	rows, err := Table3(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]T3Row{}
+	for _, r := range rows {
+		if r.UVM >= r.BSD {
+			t.Errorf("%s: UVM %v >= BSD %v (paper: UVM wins every case)", r.Case, r.UVM, r.BSD)
+		}
+		byName[r.Case] = r
+	}
+	// The read/private anomaly: under BSD it costs much more than
+	// read/shared (the needless shadow object); under UVM they are close.
+	bAnom := float64(byName["read/private file"].BSD) / float64(byName["read/shared file"].BSD)
+	uAnom := float64(byName["read/private file"].UVM) / float64(byName["read/shared file"].UVM)
+	if bAnom < 1.2 {
+		t.Errorf("BSD read/private should clearly exceed read/shared: ratio %.2f", bAnom)
+	}
+	if uAnom > 1.1 {
+		t.Errorf("UVM read/private should track read/shared: ratio %.2f", uAnom)
+	}
+	// Zero-fill reads and writes are near-identical under UVM (49 vs 48).
+	zf := byName["read/zero fill"].UVM - byName["write/zero fill"].UVM
+	if zf < 0 {
+		zf = -zf
+	}
+	if zf > byName["write/zero fill"].UVM/10 {
+		t.Errorf("UVM zero-fill read/write should be close: %v vs %v",
+			byName["read/zero fill"].UVM, byName["write/zero fill"].UVM)
+	}
+}
+
+func TestFigure2Knee(t *testing.T) {
+	points, err := Figure2([]int{50, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, large := points[0], points[1]
+	// Below the cache limit the systems are comparable.
+	if small.BSD > 3*small.UVM {
+		t.Errorf("below the limit BSD (%v) should be near UVM (%v)", small.BSD, small.UVM)
+	}
+	// Beyond it, BSD VM falls off the cliff; UVM scales linearly.
+	if large.BSD < 50*large.UVM {
+		t.Errorf("beyond the limit BSD (%v) should be disk-bound vs UVM (%v)", large.BSD, large.UVM)
+	}
+	if large.UVM > 10*small.UVM {
+		t.Errorf("UVM should stay at memory speed: %v -> %v", small.UVM, large.UVM)
+	}
+}
+
+func TestFigure5Crossover(t *testing.T) {
+	points, err := Figure5([]int{16, 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	within, beyond := points[0], points[1]
+	// Below RAM the curves coincide.
+	r := float64(within.BSD) / float64(within.UVM)
+	if r > 1.3 || r < 0.7 {
+		t.Errorf("below RAM the systems should match: BSD %v UVM %v", within.BSD, within.UVM)
+	}
+	// Beyond RAM, BSD VM's unclustered pageout is several times slower.
+	if beyond.BSD < 3*beyond.UVM {
+		t.Errorf("beyond RAM BSD (%v) should be >3x UVM (%v)", beyond.BSD, beyond.UVM)
+	}
+}
+
+func TestFigure6Orderings(t *testing.T) {
+	points, err := Figure6([]int{0, 8}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.MB == 0 {
+			continue
+		}
+		if p.UVMTouched >= p.BSDTouched {
+			t.Errorf("%dMB: UVM touched %v >= BSD %v", p.MB, p.UVMTouched, p.BSDTouched)
+		}
+		if p.UVMPlain > p.BSDPlain {
+			t.Errorf("%dMB: UVM plain %v > BSD %v", p.MB, p.UVMPlain, p.BSDPlain)
+		}
+		if p.BSDTouched < 5*p.BSDPlain {
+			t.Errorf("%dMB: touched (%v) should dwarf untouched (%v)", p.MB, p.BSDTouched, p.BSDPlain)
+		}
+	}
+	// Linear growth: the 8 MB touched point must dwarf the 0 MB one.
+	if points[1].BSDTouched < 100*points[0].BSDTouched {
+		t.Errorf("fork cost not growing with memory: %v -> %v",
+			points[0].BSDTouched, points[1].BSDTouched)
+	}
+}
+
+func TestDataMovementSavings(t *testing.T) {
+	rows, err := DataMovement([]int{1, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, big := rows[0], rows[1]
+	// Paper: 26% saving at one page, 78% at 256. Accept a generous band
+	// around each, but require monotone improvement and the right scale.
+	if one.LoanSaving < 0.10 || one.LoanSaving > 0.45 {
+		t.Errorf("1-page loan saving %.0f%%, paper says 26%%", one.LoanSaving*100)
+	}
+	if big.LoanSaving < 0.65 || big.LoanSaving > 0.90 {
+		t.Errorf("256-page loan saving %.0f%%, paper says 78%%", big.LoanSaving*100)
+	}
+	if big.LoanSaving <= one.LoanSaving {
+		t.Error("saving must grow with transfer size")
+	}
+	// Map entry passing cost is size-independent; transfer is per-page
+	// but far below copy.
+	if big.MEP > 2*one.MEP {
+		t.Errorf("MEP should be ~size-independent: %v vs %v", one.MEP, big.MEP)
+	}
+	if big.TransferRcv > big.Copy/3 {
+		t.Errorf("transfer (%v) should be far cheaper than copy (%v)", big.TransferRcv, big.Copy)
+	}
+}
+
+func TestRCDirection(t *testing.T) {
+	bsd, uv, err := RC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uv >= bsd {
+		t.Errorf("UVM rc time %v >= BSD %v; paper reports a 10%% improvement", uv, bsd)
+	}
+}
+
+func TestAllRunnersExecute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full runner sweep in short mode")
+	}
+	for _, r := range All(true) {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			var sb strings.Builder
+			start := time.Now()
+			if err := r.Run(&sb); err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if sb.Len() == 0 {
+				t.Fatalf("%s: empty report", r.ID)
+			}
+			t.Logf("%s in %v", r.ID, time.Since(start))
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("fig5", true); !ok {
+		t.Error("fig5 not found")
+	}
+	if _, ok := Lookup("nope", true); ok {
+		t.Error("bogus id found")
+	}
+	var w io.Writer = io.Discard
+	_ = w
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	// The whole point of the simulated clock: identical runs produce
+	// byte-identical reports. Guard it for a representative experiment of
+	// each kind (counts, times, paging).
+	for _, id := range []string{"table1", "table3", "fig5"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			r, ok := Lookup(id, true)
+			if !ok {
+				t.Fatal("missing runner")
+			}
+			var a, b strings.Builder
+			if err := r.Run(&a); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Run(&b); err != nil {
+				t.Fatal(err)
+			}
+			if a.String() != b.String() {
+				t.Fatalf("non-deterministic output:\n--- run1:\n%s\n--- run2:\n%s", a.String(), b.String())
+			}
+		})
+	}
+}

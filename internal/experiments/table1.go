@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"uvm/internal/vmapi"
+	"uvm/internal/workload"
+)
+
+// T1Row is one row of Table 1: allocated map entries for an operation.
+type T1Row struct {
+	Operation string
+	BSD, UVM  int
+	// PaperBSD/PaperUVM are the values printed in the paper, for the
+	// side-by-side report.
+	PaperBSD, PaperUVM int
+}
+
+// Table1 reproduces Table 1: the number of allocated map entries on the
+// i386 for common operations. The cat/od rows count the entries one exec
+// adds (process map + per-process kernel map entries); the scenario rows
+// count the system-wide totals (boot rows) or the workload's processes
+// (X11 row), matching the paper's presentation.
+func Table1() ([]T1Row, error) {
+	var rows []T1Row
+
+	execDelta := func(img *workload.Image) (int, int, error) {
+		bsd, uv := pair(stdConfig())
+		b0 := bsd.TotalMapEntries()
+		if _, err := workload.Exec(bsd, img); err != nil {
+			return 0, 0, err
+		}
+		u0 := uv.TotalMapEntries()
+		if _, err := workload.Exec(uv, img); err != nil {
+			return 0, 0, err
+		}
+		return bsd.TotalMapEntries() - b0, uv.TotalMapEntries() - u0, nil
+	}
+
+	b, u, err := execDelta(workload.CatImage())
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, T1Row{"cat (static link)", b, u, 11, 6})
+
+	b, u, err = execDelta(workload.OdImage())
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, T1Row{"od (dynamic link)", b, u, 21, 12})
+
+	// Single-user boot: total entries in the booted system.
+	bsd, uv := pair(stdConfig())
+	if _, err := workload.SingleUserBoot(bsd); err != nil {
+		return nil, err
+	}
+	if _, err := workload.SingleUserBoot(uv); err != nil {
+		return nil, err
+	}
+	rows = append(rows, T1Row{"single-user boot", bsd.TotalMapEntries(), uv.TotalMapEntries(), 50, 26})
+
+	// Multi-user boot (no logins).
+	bsd, uv = pair(stdConfig())
+	if _, err := workload.MultiUserBoot(bsd); err != nil {
+		return nil, err
+	}
+	if _, err := workload.MultiUserBoot(uv); err != nil {
+		return nil, err
+	}
+	rows = append(rows, T1Row{"multi-user boot (no logins)", bsd.TotalMapEntries(), uv.TotalMapEntries(), 400, 242})
+
+	// Starting X11 (9 processes): the entries of those processes.
+	bsd, uv = pair(stdConfig())
+	bp, err := workload.StartX11(bsd)
+	if err != nil {
+		return nil, err
+	}
+	up, err := workload.StartX11(uv)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, T1Row{
+		"starting X11 (9 processes)",
+		workload.EntriesFor(bp) + perProcKernel(bsd, len(bp)),
+		workload.EntriesFor(up) + perProcKernel(uv, len(up)),
+		275, 186,
+	})
+	return rows, nil
+}
+
+// perProcKernel counts the kernel map entries attributable to n processes
+// (BSD VM: two per process for the user structure and kernel stack; UVM:
+// zero).
+func perProcKernel(sys vmapi.System, n int) int {
+	if sys.Name() == "bsdvm" {
+		return 2 * n
+	}
+	return 0
+}
+
+// ReportTable1 renders the table.
+func ReportTable1(w io.Writer) error {
+	rows, err := Table1()
+	if err != nil {
+		return err
+	}
+	header(w, "Table 1: number of allocated map entries (i386)")
+	fmt.Fprintf(w, "%-30s %12s %12s   %s\n", "Operation", "BSD VM", "UVM", "(paper: BSD/UVM)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-30s %12d %12d   (%d/%d)\n",
+			r.Operation, r.BSD, r.UVM, r.PaperBSD, r.PaperUVM)
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"uvm/internal/workload"
+)
+
+// T2Row is one row of Table 2: page fault counts for a command.
+type T2Row struct {
+	Command            string
+	BSD, UVM           int64
+	PaperBSD, PaperUVM int64
+}
+
+// Table2 reproduces Table 2: page fault counts for five commands. Each
+// command's warm/cold page split is calibrated so BSD VM (one fault per
+// page) lands on the paper's BSD column; UVM's column is then *produced*
+// by its fault handler's resident-page lookahead (§5.4), not assumed.
+func Table2() ([]T2Row, error) {
+	paper := map[string][2]int64{
+		"ls /":         {59, 33},
+		"finger chuck": {128, 74},
+		"cc hello.c":   {1086, 590},
+		"man csh":      {114, 64},
+		"newaliases":   {229, 127},
+	}
+	var rows []T2Row
+	for _, cmd := range workload.PaperCommands() {
+		bsd, uv := pair(stdConfig())
+		bf, err := cmd.Run(bsd)
+		if err != nil {
+			return nil, err
+		}
+		uf, err := cmd.Run(uv)
+		if err != nil {
+			return nil, err
+		}
+		p := paper[cmd.Name]
+		rows = append(rows, T2Row{cmd.Name, bf, uf, p[0], p[1]})
+	}
+	return rows, nil
+}
+
+// ReportTable2 renders the table.
+func ReportTable2(w io.Writer) error {
+	rows, err := Table2()
+	if err != nil {
+		return err
+	}
+	header(w, "Table 2: page fault counts")
+	fmt.Fprintf(w, "%-16s %10s %10s   %s\n", "Command", "BSD VM", "UVM", "(paper: BSD/UVM)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %10d %10d   (%d/%d)\n", r.Command, r.BSD, r.UVM, r.PaperBSD, r.PaperUVM)
+	}
+	return nil
+}

@@ -1,0 +1,322 @@
+// Package phys models physical memory: the vm_page array, the free list,
+// and the active/inactive page queues that the pagedaemons of both VM
+// systems scan.
+//
+// Unlike a pure counter model, every frame carries a real 4 KB data
+// buffer. Copy-on-write, page loanout, swap round-trips and file I/O are
+// all verified against actual bytes by the test suites of the higher
+// layers.
+package phys
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"uvm/internal/param"
+	"uvm/internal/sim"
+)
+
+// ErrNoMemory is returned by Alloc when the free list is empty. Callers
+// (the fault handlers) react by waking their pagedaemon and retrying.
+var ErrNoMemory = errors.New("phys: out of physical memory")
+
+// QueueKind identifies which paging queue a page is on.
+type QueueKind uint8
+
+const (
+	QueueNone QueueKind = iota
+	QueueFree
+	QueueActive
+	QueueInactive
+	QueueWired // not a real queue: wired pages are off all queues
+)
+
+// Page is one physical page frame (a vm_page structure).
+type Page struct {
+	PA   param.PAddr
+	Data []byte // always param.PageSize bytes
+
+	// Identity: which higher-level entity owns this frame. Exactly one of
+	// these is meaningful for an allocated page; both are nil for a free
+	// page. The concrete types belong to the VM system that allocated the
+	// page (a memory object or an anon).
+	Owner any
+	Off   param.PageOff // page-aligned offset within Owner
+
+	// State bits maintained by the VM systems and the pmap layer.
+	Dirty      bool
+	Referenced bool
+	Busy       bool // page is being paged in/out
+	WireCount  int
+	LoanCount  int // UVM page loanout: >0 means read-only shared loan
+
+	queue      QueueKind
+	prev, next *Page
+}
+
+// Wired reports whether the page is wired (must stay resident).
+func (p *Page) Wired() bool { return p.WireCount > 0 }
+
+// Loaned reports whether the page is currently loaned out.
+func (p *Page) Loaned() bool { return p.LoanCount > 0 }
+
+// Queue returns the queue the page is currently on.
+func (p *Page) Queue() QueueKind { return p.queue }
+
+func (p *Page) String() string {
+	return fmt.Sprintf("page(pa=%#x owner=%T off=%#x q=%d wire=%d loan=%d dirty=%v)",
+		p.PA, p.Owner, p.Off, p.queue, p.WireCount, p.LoanCount, p.Dirty)
+}
+
+// pageList is an intrusive doubly-linked list of pages.
+type pageList struct {
+	head, tail *Page
+	n          int
+}
+
+func (l *pageList) pushTail(p *Page) {
+	p.prev, p.next = l.tail, nil
+	if l.tail != nil {
+		l.tail.next = p
+	} else {
+		l.head = p
+	}
+	l.tail = p
+	l.n++
+}
+
+func (l *pageList) remove(p *Page) {
+	if p.prev != nil {
+		p.prev.next = p.next
+	} else {
+		l.head = p.next
+	}
+	if p.next != nil {
+		p.next.prev = p.prev
+	} else {
+		l.tail = p.prev
+	}
+	p.prev, p.next = nil, nil
+	l.n--
+}
+
+func (l *pageList) popHead() *Page {
+	p := l.head
+	if p != nil {
+		l.remove(p)
+	}
+	return p
+}
+
+// Mem is the physical memory of the simulated machine.
+type Mem struct {
+	clock *sim.Clock
+	costs *sim.Costs
+	stats *sim.Stats
+
+	mu       sync.Mutex
+	total    int
+	frames   []Page
+	free     pageList
+	active   pageList
+	inactive pageList
+}
+
+// NewMem boots a machine with npages page frames. All frame data buffers
+// are carved from one arena allocation.
+func NewMem(clock *sim.Clock, costs *sim.Costs, stats *sim.Stats, npages int) *Mem {
+	if npages <= 0 {
+		panic("phys: non-positive memory size")
+	}
+	m := &Mem{clock: clock, costs: costs, stats: stats, total: npages}
+	arena := make([]byte, npages*param.PageSize)
+	m.frames = make([]Page, npages)
+	for i := range m.frames {
+		p := &m.frames[i]
+		p.PA = param.PAddr(i) << param.PageShift
+		p.Data = arena[i*param.PageSize : (i+1)*param.PageSize : (i+1)*param.PageSize]
+		p.queue = QueueFree
+		m.free.pushTail(p)
+	}
+	return m
+}
+
+// TotalPages returns the amount of physical memory in pages.
+func (m *Mem) TotalPages() int { return m.total }
+
+// FreePages returns the current size of the free list.
+func (m *Mem) FreePages() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.free.n
+}
+
+// ActivePages and InactivePages return the queue depths.
+func (m *Mem) ActivePages() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.active.n
+}
+
+func (m *Mem) InactivePages() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inactive.n
+}
+
+// Alloc takes a frame off the free list. If zero is set the frame is
+// zero-filled (and the zeroing cost charged); otherwise its previous
+// contents are undefined, exactly like a real free-list page.
+func (m *Mem) Alloc(owner any, off param.PageOff, zero bool) (*Page, error) {
+	m.mu.Lock()
+	p := m.free.popHead()
+	m.mu.Unlock()
+	if p == nil {
+		return nil, ErrNoMemory
+	}
+	m.clock.Advance(m.costs.PageAlloc)
+	p.queue = QueueNone
+	p.Owner = owner
+	p.Off = off
+	p.Dirty = false
+	p.Referenced = false
+	p.Busy = false
+	p.WireCount = 0
+	p.LoanCount = 0
+	if zero {
+		m.Zero(p)
+	}
+	return p, nil
+}
+
+// Free returns a frame to the free list. The caller must have removed all
+// mappings and queue membership is cleared here.
+func (m *Mem) Free(p *Page) {
+	if p.WireCount > 0 {
+		panic("phys: freeing wired page " + p.String())
+	}
+	if p.LoanCount > 0 {
+		panic("phys: freeing loaned page " + p.String())
+	}
+	m.clock.Advance(m.costs.PageFree)
+	m.mu.Lock()
+	m.detachLocked(p)
+	p.Owner = nil
+	p.Off = 0
+	p.Dirty = false
+	p.queue = QueueFree
+	m.free.pushTail(p)
+	m.mu.Unlock()
+}
+
+// Zero clears a frame's data, charging the zeroing cost.
+func (m *Mem) Zero(p *Page) {
+	m.clock.Advance(m.costs.PageZero)
+	m.stats.Inc(sim.CtrPagesZeroed)
+	for i := range p.Data {
+		p.Data[i] = 0
+	}
+}
+
+// CopyData copies src's data into dst, charging the 4 KB copy cost.
+func (m *Mem) CopyData(dst, src *Page) {
+	m.clock.Advance(m.costs.PageCopy)
+	m.stats.Inc(sim.CtrPagesCopied)
+	copy(dst.Data, src.Data)
+}
+
+// Activate puts the page on the active queue (most recently used end).
+func (m *Mem) Activate(p *Page) {
+	m.mu.Lock()
+	m.detachLocked(p)
+	p.queue = QueueActive
+	m.active.pushTail(p)
+	m.mu.Unlock()
+}
+
+// Deactivate moves the page to the inactive queue, making it a pageout
+// candidate.
+func (m *Mem) Deactivate(p *Page) {
+	m.mu.Lock()
+	m.detachLocked(p)
+	p.queue = QueueInactive
+	m.inactive.pushTail(p)
+	m.mu.Unlock()
+}
+
+// Dequeue removes the page from whatever paging queue it is on (used when
+// wiring a page or starting pageout on it).
+func (m *Mem) Dequeue(p *Page) {
+	m.mu.Lock()
+	m.detachLocked(p)
+	p.queue = QueueNone
+	m.mu.Unlock()
+}
+
+func (m *Mem) detachLocked(p *Page) {
+	switch p.queue {
+	case QueueFree:
+		m.free.remove(p)
+	case QueueActive:
+		m.active.remove(p)
+	case QueueInactive:
+		m.inactive.remove(p)
+	}
+	p.queue = QueueNone
+}
+
+// ScanInactive calls fn on up to max pages from the head (least recently
+// used end) of the inactive queue. fn runs without the memory lock held so
+// it may call back into Mem; the scan snapshots candidates first, skipping
+// busy, wired and loaned pages. This is the pagedaemon's entry point.
+func (m *Mem) ScanInactive(max int, fn func(*Page) bool) {
+	m.mu.Lock()
+	var cand []*Page
+	for p := m.inactive.head; p != nil && len(cand) < max; p = p.next {
+		if p.Busy || p.WireCount > 0 || p.LoanCount > 0 {
+			continue
+		}
+		cand = append(cand, p)
+	}
+	m.mu.Unlock()
+	for _, p := range cand {
+		if !fn(p) {
+			return
+		}
+	}
+}
+
+// RefillInactive moves up to n pages from the head of the active queue to
+// the inactive queue (the clock-hand "page aging" step both pagedaemons
+// perform when the inactive queue runs short). Referenced pages get a
+// second chance: their reference bit is cleared and they return to the
+// active tail.
+func (m *Mem) RefillInactive(n int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	moved := 0
+	scanned := 0
+	limit := m.active.n
+	for moved < n && scanned < limit {
+		p := m.active.popHead()
+		if p == nil {
+			break
+		}
+		scanned++
+		if p.WireCount > 0 {
+			p.queue = QueueNone
+			continue
+		}
+		if p.Referenced {
+			p.Referenced = false
+			p.queue = QueueActive
+			m.active.pushTail(p)
+			continue
+		}
+		p.queue = QueueInactive
+		m.inactive.pushTail(p)
+		moved++
+	}
+	return moved
+}

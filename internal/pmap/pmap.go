@@ -1,0 +1,316 @@
+// Package pmap is the machine-dependent layer of the simulated kernel: a
+// software MMU. It implements the Mach-style pmap API that both BSD VM and
+// UVM program — the paper stresses (§2, §10) that UVM deliberately reuses
+// BSD VM's pmap layer unchanged, so in this reproduction there is exactly
+// one pmap implementation and both machine-independent VM systems drive
+// it.
+//
+// A pmap holds the translations for one address space. The MMU keeps a
+// reverse map (pv list) from each physical page to every translation that
+// maps it, which is what makes pmap_page_protect — write-protecting or
+// removing all mappings of a page for copy-on-write and pageout — possible.
+//
+// The simulated processor is i386-like: each 4 MB-aligned region of a
+// pmap's virtual address space that contains at least one mapping needs a
+// page-table page, which is wired kernel memory. Whose bookkeeping records
+// that wired memory is one of the Table 1 differences between the two VM
+// systems, so the pmap reports page-table page allocation through a hook.
+package pmap
+
+import (
+	"fmt"
+	"sync"
+
+	"uvm/internal/param"
+	"uvm/internal/phys"
+	"uvm/internal/sim"
+)
+
+// ptRegionShift selects the i386 page-table granularity: one page-table
+// page maps 4 MB (1024 PTEs of 4 KB).
+const ptRegionShift = 22
+
+// PTE is one translation: virtual page -> physical frame with a hardware
+// protection. Wired marks translations that must not be torn down by
+// pageout (the pmap-level wired attribute).
+type PTE struct {
+	Page  *phys.Page
+	Prot  param.Prot
+	Wired bool
+}
+
+type pv struct {
+	pm *Pmap
+	va param.VAddr
+}
+
+// MMU is the machine: it owns the reverse (pv) table shared by all pmaps.
+type MMU struct {
+	clock *sim.Clock
+	costs *sim.Costs
+	stats *sim.Stats
+
+	mu  sync.Mutex
+	rev map[*phys.Page][]pv
+}
+
+// NewMMU creates the machine's MMU.
+func NewMMU(clock *sim.Clock, costs *sim.Costs, stats *sim.Stats) *MMU {
+	return &MMU{clock: clock, costs: costs, stats: stats, rev: make(map[*phys.Page][]pv)}
+}
+
+// Pmap is the translation state for one address space.
+type Pmap struct {
+	mmu  *MMU
+	name string
+
+	mu        sync.Mutex
+	pt        map[param.VAddr]PTE
+	ptRegions map[param.VAddr]int // 4MB region base -> live PTE count
+	wired     int
+
+	// OnPTAlloc/OnPTFree fire when a page-table page is allocated or
+	// freed for this pmap. BSD VM points these at kernel-map wiring (which
+	// fragments kernel map entries); UVM records the wired state here in
+	// the pmap only (paper §3.2).
+	OnPTAlloc func()
+	OnPTFree  func()
+}
+
+// NewPmap creates an empty address-space pmap.
+func (m *MMU) NewPmap(name string) *Pmap {
+	return &Pmap{
+		mmu:       m,
+		name:      name,
+		pt:        make(map[param.VAddr]PTE),
+		ptRegions: make(map[param.VAddr]int),
+	}
+}
+
+func (p *Pmap) String() string { return fmt.Sprintf("pmap(%s)", p.name) }
+
+// Enter establishes (or replaces) the translation for va. The page gains a
+// pv entry so page-level operations can find this mapping.
+func (p *Pmap) Enter(va param.VAddr, pg *phys.Page, prot param.Prot, wired bool) {
+	if !param.PageAligned(va) {
+		panic("pmap: unaligned Enter")
+	}
+	p.mmu.clock.Advance(p.mmu.costs.PmapEnter)
+
+	p.mu.Lock()
+	old, had := p.pt[va]
+	p.pt[va] = PTE{Page: pg, Prot: prot, Wired: wired}
+	if !had {
+		p.ptRegionRefLocked(va, +1)
+	}
+	if had && old.Wired {
+		p.wired--
+	}
+	if wired {
+		p.wired++
+	}
+	p.mu.Unlock()
+
+	p.mmu.mu.Lock()
+	if had && old.Page != pg {
+		p.mmu.removePVLocked(old.Page, p, va)
+	}
+	if !had || old.Page != pg {
+		p.mmu.rev[pg] = append(p.mmu.rev[pg], pv{p, va})
+	}
+	p.mmu.mu.Unlock()
+}
+
+// Remove tears down all translations in [start, end).
+func (p *Pmap) Remove(start, end param.VAddr) {
+	for va := param.Trunc(start); va < end; va += param.PageSize {
+		p.removeOne(va)
+	}
+}
+
+func (p *Pmap) removeOne(va param.VAddr) {
+	p.mu.Lock()
+	pte, ok := p.pt[va]
+	if !ok {
+		p.mu.Unlock()
+		return
+	}
+	delete(p.pt, va)
+	p.ptRegionRefLocked(va, -1)
+	if pte.Wired {
+		p.wired--
+	}
+	p.mu.Unlock()
+
+	p.mmu.clock.Advance(p.mmu.costs.PmapRemove)
+	p.mmu.mu.Lock()
+	p.mmu.removePVLocked(pte.Page, p, va)
+	p.mmu.mu.Unlock()
+}
+
+// Protect narrows the hardware protection of every translation in
+// [start, end) to prot. With ProtNone the translations are removed
+// (matching pmap_protect semantics on the i386).
+func (p *Pmap) Protect(start, end param.VAddr, prot param.Prot) {
+	if prot == param.ProtNone {
+		p.Remove(start, end)
+		return
+	}
+	for va := param.Trunc(start); va < end; va += param.PageSize {
+		p.mu.Lock()
+		if pte, ok := p.pt[va]; ok {
+			p.mmu.clock.Advance(p.mmu.costs.PmapProtect)
+			pte.Prot &= prot
+			p.pt[va] = pte
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Extract returns the translation for va, if any. It charges the cost of a
+// software page-table walk.
+func (p *Pmap) Extract(va param.VAddr) (PTE, bool) {
+	p.mmu.clock.Advance(p.mmu.costs.PmapExtract)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pte, ok := p.pt[param.Trunc(va)]
+	return pte, ok
+}
+
+// Lookup is Extract without the cost charge, for assertions and tests.
+func (p *Pmap) Lookup(va param.VAddr) (PTE, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pte, ok := p.pt[param.Trunc(va)]
+	return pte, ok
+}
+
+// ChangeWiring flips the pmap-level wired attribute of va's translation.
+func (p *Pmap) ChangeWiring(va param.VAddr, wired bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pte, ok := p.pt[param.Trunc(va)]
+	if !ok {
+		return
+	}
+	if pte.Wired != wired {
+		if wired {
+			p.wired++
+		} else {
+			p.wired--
+		}
+		pte.Wired = wired
+		p.pt[param.Trunc(va)] = pte
+	}
+}
+
+// ResidentCount returns the number of valid translations.
+func (p *Pmap) ResidentCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pt)
+}
+
+// WiredCount returns the number of wired translations.
+func (p *Pmap) WiredCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.wired
+}
+
+// PTPages returns the number of page-table pages currently allocated.
+func (p *Pmap) PTPages() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.ptRegions)
+}
+
+// ptRegionRefLocked adjusts the PTE count of va's 4 MB region, firing the
+// allocation/free hooks at the 0<->1 transitions. Caller holds p.mu.
+func (p *Pmap) ptRegionRefLocked(va param.VAddr, delta int) {
+	region := va >> ptRegionShift << ptRegionShift
+	n := p.ptRegions[region] + delta
+	switch {
+	case n < 0:
+		panic("pmap: page-table region refcount underflow")
+	case n == 0:
+		delete(p.ptRegions, region)
+		if p.OnPTFree != nil {
+			p.OnPTFree()
+		}
+	default:
+		if p.ptRegions[region] == 0 && p.OnPTAlloc != nil {
+			p.OnPTAlloc()
+		}
+		p.ptRegions[region] = n
+	}
+}
+
+// RemoveAll tears down every translation (address-space teardown).
+func (p *Pmap) RemoveAll() {
+	p.mu.Lock()
+	vas := make([]param.VAddr, 0, len(p.pt))
+	for va := range p.pt {
+		vas = append(vas, va)
+	}
+	p.mu.Unlock()
+	for _, va := range vas {
+		p.removeOne(va)
+	}
+}
+
+func (m *MMU) removePVLocked(pg *phys.Page, pm *Pmap, va param.VAddr) {
+	list := m.rev[pg]
+	for i, e := range list {
+		if e.pm == pm && e.va == va {
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(m.rev, pg)
+	} else {
+		m.rev[pg] = list
+	}
+}
+
+// PageProtect narrows the protection of every mapping of pg, in every
+// pmap, to prot. ProtNone removes all mappings. This is the pmap primitive
+// behind copy-on-write write-protection at fork and behind pageout.
+func (m *MMU) PageProtect(pg *phys.Page, prot param.Prot) {
+	m.mu.Lock()
+	entries := append([]pv(nil), m.rev[pg]...)
+	m.mu.Unlock()
+
+	if prot == param.ProtNone {
+		for _, e := range entries {
+			e.pm.removeOne(e.va)
+		}
+		return
+	}
+	for _, e := range entries {
+		e.pm.mu.Lock()
+		if pte, ok := e.pm.pt[e.va]; ok && pte.Page == pg {
+			m.clock.Advance(m.costs.PmapProtect)
+			pte.Prot &= prot
+			e.pm.pt[e.va] = pte
+		}
+		e.pm.mu.Unlock()
+	}
+}
+
+// PageMappings returns how many translations currently map pg.
+func (m *MMU) PageMappings(pg *phys.Page) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.rev[pg])
+}
+
+// PageReferenced gathers and clears the simulated reference bit for pg.
+// (On real hardware this scans PTE reference bits via the pv list.)
+func (m *MMU) PageReferenced(pg *phys.Page) bool {
+	ref := pg.Referenced
+	pg.Referenced = false
+	return ref
+}

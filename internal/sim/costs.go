@@ -1,0 +1,101 @@
+package sim
+
+import "time"
+
+// Costs is the calibrated table of primitive operation costs. One table is
+// shared by both VM systems; a system only spends more total time than the
+// other by performing more of these primitives, never by being charged a
+// different rate for the same work.
+//
+// CPU-side costs are calibrated to a 333 MHz Pentium-II running kernel
+// code (roughly 3 ns/cycle; structure allocation and locking costs follow
+// the measurements reported for 4.4BSD-era kernels). Disk costs follow a
+// late-1990s IDE disk: ~8 ms average positioning time and ~8 MB/s media
+// rate (≈ 500 µs per 4 KB page transferred).
+type Costs struct {
+	// Locking and lookup.
+	LockAcquire    time.Duration // acquire+release an uncontended kernel lock
+	MapLookupEntry time.Duration // per map entry inspected during a lookup
+	HashLookup     time.Duration // one pager-hash-table probe (BSD VM only path)
+
+	// Structure management.
+	MapEntryAlloc time.Duration // allocate+initialise a map entry
+	MapEntryFree  time.Duration
+	ObjectAlloc   time.Duration // allocate a vm_object / uvm aobj
+	ObjectFree    time.Duration
+	PagerAlloc    time.Duration // allocate a vm_pager + private data (BSD VM)
+	AnonAlloc     time.Duration // allocate an anon (UVM)
+	AnonFree      time.Duration
+	AmapAlloc     time.Duration // allocate an amap header (UVM)
+	AmapPerSlot   time.Duration // initialise one amap slot
+
+	// Vnode layer.
+	VnodeAlloc time.Duration // allocate+initialise a vnode
+	NameLookup time.Duration // path -> vnode lookup (namei, cached)
+
+	// Page-level work.
+	PageAlloc time.Duration // grab a frame from the free list
+	PageFree  time.Duration
+	PageZero  time.Duration // zero 4 KB
+	PageCopy  time.Duration // copy 4 KB
+	PageTouch time.Duration // CPU access to one resident mapped page
+
+	// pmap (MMU) operations, per page.
+	PmapEnter   time.Duration
+	PmapRemove  time.Duration
+	PmapProtect time.Duration
+	PmapExtract time.Duration
+
+	// Fault handling.
+	FaultTrap    time.Duration // hardware trap + dispatch into the handler
+	ChainSearch  time.Duration // per object inspected in a shadow chain (BSD VM)
+	CollapseScan time.Duration // one object-collapse attempt (BSD VM)
+
+	// Backing store.
+	SwapSlotAlloc time.Duration
+	DiskSeek      time.Duration // head positioning for a discontiguous access
+	DiskOp        time.Duration // fixed per-command cost (controller + rotational)
+	DiskPageIO    time.Duration // media transfer of one 4 KB page
+}
+
+// DefaultCosts returns the calibrated cost table used by every experiment.
+func DefaultCosts() *Costs {
+	return &Costs{
+		LockAcquire:    100 * time.Nanosecond,
+		MapLookupEntry: 60 * time.Nanosecond,
+		HashLookup:     250 * time.Nanosecond,
+
+		MapEntryAlloc: 600 * time.Nanosecond,
+		MapEntryFree:  250 * time.Nanosecond,
+		ObjectAlloc:   900 * time.Nanosecond,
+		ObjectFree:    400 * time.Nanosecond,
+		PagerAlloc:    700 * time.Nanosecond,
+		AnonAlloc:     300 * time.Nanosecond,
+		AnonFree:      150 * time.Nanosecond,
+		AmapAlloc:     500 * time.Nanosecond,
+		AmapPerSlot:   15 * time.Nanosecond,
+
+		VnodeAlloc: 800 * time.Nanosecond,
+		NameLookup: 900 * time.Nanosecond,
+
+		PageAlloc: 500 * time.Nanosecond,
+		PageFree:  250 * time.Nanosecond,
+		PageZero:  1500 * time.Nanosecond,
+		PageCopy:  2200 * time.Nanosecond,
+		PageTouch: 60 * time.Nanosecond,
+
+		PmapEnter:   400 * time.Nanosecond,
+		PmapRemove:  300 * time.Nanosecond,
+		PmapProtect: 260 * time.Nanosecond,
+		PmapExtract: 120 * time.Nanosecond,
+
+		FaultTrap:    1800 * time.Nanosecond,
+		ChainSearch:  350 * time.Nanosecond,
+		CollapseScan: 900 * time.Nanosecond,
+
+		SwapSlotAlloc: 180 * time.Nanosecond,
+		DiskSeek:      6 * time.Millisecond,
+		DiskOp:        2 * time.Millisecond,
+		DiskPageIO:    500 * time.Microsecond,
+	}
+}

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Stats is a set of named monotonic counters. Every subsystem records its
+// activity here (faults taken, pages copied, disk operations issued, map
+// entries allocated, ...) so experiments can report raw operation counts
+// alongside simulated times. Safe for concurrent use.
+type Stats struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewStats returns an empty counter set.
+func NewStats() *Stats { return &Stats{m: make(map[string]int64)} }
+
+// Add increments counter name by delta (delta may be negative for
+// level-style gauges such as "current map entries").
+func (s *Stats) Add(name string, delta int64) {
+	s.mu.Lock()
+	s.m[name] += delta
+	s.mu.Unlock()
+}
+
+// Inc increments counter name by one.
+func (s *Stats) Inc(name string) { s.Add(name, 1) }
+
+// Get returns the current value of the counter (zero if never touched).
+func (s *Stats) Get(name string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[name]
+}
+
+// Max raises counter name to v if v is greater than the current value.
+// Used for high-water marks.
+func (s *Stats) Max(name string, v int64) {
+	s.mu.Lock()
+	if v > s.m[name] {
+		s.m[name] = v
+	}
+	s.mu.Unlock()
+}
+
+// Snapshot returns a copy of all counters.
+func (s *Stats) Snapshot() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.m))
+	for k, v := range s.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset clears every counter.
+func (s *Stats) Reset() {
+	s.mu.Lock()
+	s.m = make(map[string]int64)
+	s.mu.Unlock()
+}
+
+// String renders the counters sorted by name, one per line.
+func (s *Stats) String() string {
+	snap := s.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%-32s %12d\n", k, snap[k])
+	}
+	return b.String()
+}
+
+// Well-known counter names shared across packages. Subsystems may also
+// define their own ad-hoc names; these constants exist so the experiment
+// drivers and tests do not depend on string literals scattered around.
+const (
+	CtrFaults          = "vm.faults"
+	CtrFaultsRead      = "vm.faults.read"
+	CtrFaultsWrite     = "vm.faults.write"
+	CtrPageIns         = "vm.pageins"
+	CtrPageOuts        = "vm.pageouts"
+	CtrPagesCopied     = "vm.pages.copied"
+	CtrPagesZeroed     = "vm.pages.zeroed"
+	CtrMapEntriesLive  = "vm.mapentries.live"
+	CtrMapEntriesTotal = "vm.mapentries.total"
+	CtrObjectsLive     = "vm.objects.live"
+	CtrAnonsLive       = "vm.anons.live"
+	CtrAmapsLive       = "vm.amaps.live"
+	CtrCollapses       = "bsdvm.collapses"
+	CtrChainWalk       = "bsdvm.chainwalk"
+	CtrDiskReads       = "disk.reads"
+	CtrDiskWrites      = "disk.writes"
+	CtrDiskSeeks       = "disk.seeks"
+	CtrDiskPagesRead   = "disk.pages.read"
+	CtrDiskPagesWrite  = "disk.pages.written"
+	CtrSwapSlotsLive   = "swap.slots.live"
+	CtrSwapIOs         = "swap.ios"
+	CtrLoanouts        = "uvm.loanouts"
+	CtrTransfers       = "uvm.transfers"
+)

@@ -1,0 +1,156 @@
+package swap
+
+import (
+	"errors"
+	"testing"
+
+	"uvm/internal/disk"
+	"uvm/internal/param"
+	"uvm/internal/sim"
+)
+
+// Tests for multi-device swap (swapctl -a style priorities).
+
+func multiSwap(t *testing.T, sizes []int64, prios []int) (*Swap, []*disk.Disk) {
+	t.Helper()
+	clock := sim.NewClock()
+	costs := sim.DefaultCosts()
+	stats := sim.NewStats()
+	var disks []*disk.Disk
+	d0 := disk.New(clock, costs, stats, sizes[0])
+	disks = append(disks, d0)
+	s := New(clock, costs, stats, d0) // priority 0
+	_ = prios[0]
+	for i := 1; i < len(sizes); i++ {
+		d := disk.New(clock, costs, stats, sizes[i])
+		s.AddDevice(d, prios[i])
+		disks = append(disks, d)
+	}
+	return s, disks
+}
+
+func TestAddDeviceGrowsSlotSpace(t *testing.T) {
+	s, _ := multiSwap(t, []int64{8, 16}, []int{0, 1})
+	if s.Slots() != 24 {
+		t.Fatalf("slots = %d, want 24", s.Slots())
+	}
+	if s.Devices() != 2 {
+		t.Fatalf("devices = %d", s.Devices())
+	}
+}
+
+func TestPriorityOrderPreferred(t *testing.T) {
+	// Device 0 (priority 0) must fill before device 1 (priority 10).
+	s, _ := multiSwap(t, []int64{4, 16}, []int{0, 10})
+	var slots []int64
+	for i := 0; i < 4; i++ {
+		slot, err := s.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if slot >= 4 {
+			t.Fatalf("allocation %d landed on the low-priority device (slot %d) while the preferred one had space", i, slot)
+		}
+		slots = append(slots, slot)
+	}
+	// Fifth allocation spills to device 1.
+	spill, err := s.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spill < 4 {
+		t.Fatalf("spill allocation landed at %d, expected the second device", spill)
+	}
+	// Freeing the preferred device makes it win again.
+	s.Free(slots[0])
+	again, _ := s.Alloc()
+	if again >= 4 {
+		t.Fatalf("freed preferred slot not reused: got %d", again)
+	}
+}
+
+func TestHigherPriorityDeviceAddedLater(t *testing.T) {
+	// A later-added device with a *better* (lower) priority takes over.
+	// (The first device always has priority 0, so use a negative one.)
+	s, _ := multiSwap(t, []int64{8, 8}, []int{0, -1})
+	slot, err := s.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slot < 8 {
+		t.Fatalf("allocation at %d: should prefer the later, higher-priority device", slot)
+	}
+}
+
+func TestClusterNeverSpansDevices(t *testing.T) {
+	s, _ := multiSwap(t, []int64{10, 32}, []int{0, 1})
+	// Eat 4 slots of device 0, leaving 6 free there.
+	if _, err := s.AllocContig(4); err != nil {
+		t.Fatal(err)
+	}
+	// A 8-slot cluster cannot fit in device 0's remaining 6: it must land
+	// entirely in device 1, not straddle the boundary.
+	start, err := s.AllocContig(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start < 10 {
+		t.Fatalf("cluster at %d would span the device boundary at 10", start)
+	}
+}
+
+func TestClusterLargerThanAnyDevice(t *testing.T) {
+	s, _ := multiSwap(t, []int64{8, 8}, []int{0, 1})
+	// 16 slots exist but no device can hold 10 contiguously.
+	if _, err := s.AllocContig(10); !errors.Is(err, ErrNoSwap) {
+		t.Fatalf("impossible cluster: %v", err)
+	}
+}
+
+func TestIORoutedToOwningDevice(t *testing.T) {
+	s, disks := multiSwap(t, []int64{4, 4}, []int{0, 1})
+	// Fill device 0 so the next allocation must use device 1.
+	if _, err := s.AllocContig(4); err != nil {
+		t.Fatal(err)
+	}
+	slot, err := s.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slot < 4 {
+		t.Fatalf("expected slot on device 1, got %d", slot)
+	}
+	out := make([]byte, param.PageSize)
+	out[0] = 0xd5
+	if err := s.WriteSlot(slot, out); err != nil {
+		t.Fatal(err)
+	}
+	// The data is on device 1's disk at the translated block.
+	raw := make([]byte, param.PageSize)
+	if err := disks[1].ReadPages(slot-4, [][]byte{raw}); err != nil {
+		t.Fatal(err)
+	}
+	if raw[0] != 0xd5 {
+		t.Fatalf("data not on the owning device: %#x", raw[0])
+	}
+	// Round-trip through the swap layer too.
+	in := make([]byte, param.PageSize)
+	if err := s.ReadSlot(slot, in); err != nil {
+		t.Fatal(err)
+	}
+	if in[0] != 0xd5 {
+		t.Fatalf("swap-layer read wrong: %#x", in[0])
+	}
+}
+
+func TestExhaustionAcrossDevices(t *testing.T) {
+	s, _ := multiSwap(t, []int64{4, 4}, []int{0, 1})
+	for i := 0; i < 8; i++ {
+		if _, err := s.Alloc(); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if _, err := s.Alloc(); !errors.Is(err, ErrNoSwap) {
+		t.Fatalf("exhaustion across devices: %v", err)
+	}
+}

@@ -1,0 +1,235 @@
+// Package swap implements the swap partition: a slot allocator over a
+// simulated disk plus page-granular I/O.
+//
+// Two allocation modes exist because the two VM systems place pages on
+// swap differently (paper §6). BSD VM assigns a page's swap location once,
+// inside a fixed per-object swap block, so its pageouts land wherever each
+// page's slot happens to be — one I/O per page. UVM treats anonymous
+// memory's backing location as reassignable: the pagedaemon calls
+// AllocContig to get a fresh run of slots for a whole dirty cluster, frees
+// the pages' old slots, and writes the cluster with a single I/O.
+package swap
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"uvm/internal/disk"
+	"uvm/internal/sim"
+)
+
+// ErrNoSwap is returned when the partition is full. A real kernel
+// deadlocks or kills processes at this point; the simulation surfaces it
+// (this is how the BSD VM swap-leak test observes the leak).
+var ErrNoSwap = errors.New("swap: out of swap space")
+
+// NoSlot marks "no swap location assigned".
+const NoSlot int64 = -1
+
+// device is one configured swap device: a slice [base, base+size) of the
+// global slot space backed by a disk.
+type device struct {
+	dev      *disk.Disk
+	priority int // lower value = preferred, as in swapctl(8)
+	base     int64
+	size     int64
+}
+
+// Swap is the swap subsystem: one or more prioritised swap devices
+// (swapctl -a style) behind a single global slot space.
+type Swap struct {
+	clock *sim.Clock
+	costs *sim.Costs
+	stats *sim.Stats
+
+	mu      sync.Mutex
+	devices []*device // sorted by priority, then configuration order
+	inUse   []bool
+	nInUse  int
+	hint    int64 // next-fit start point
+}
+
+// New creates a swap subsystem with one device of priority 0 spanning dev.
+func New(clock *sim.Clock, costs *sim.Costs, stats *sim.Stats, dev *disk.Disk) *Swap {
+	s := &Swap{clock: clock, costs: costs, stats: stats}
+	s.AddDevice(dev, 0)
+	return s
+}
+
+// AddDevice configures an additional swap device (swapctl -a). Lower
+// priority values are preferred; allocation spills to higher values when
+// preferred devices are full. Slot numbers already handed out remain
+// valid.
+func (s *Swap) AddDevice(dev *disk.Disk, priority int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := &device{dev: dev, priority: priority, base: int64(len(s.inUse)), size: dev.Blocks()}
+	s.devices = append(s.devices, d)
+	s.inUse = append(s.inUse, make([]bool, dev.Blocks())...)
+	s.stats.Inc("swap.devices")
+}
+
+// Devices returns the number of configured swap devices.
+func (s *Swap) Devices() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.devices)
+}
+
+// deviceFor returns the device owning a global slot.
+func (s *Swap) deviceFor(slot int64) *device {
+	for _, d := range s.devices {
+		if slot >= d.base && slot < d.base+d.size {
+			return d
+		}
+	}
+	panic(fmt.Sprintf("swap: slot %d outside every device", slot))
+}
+
+// Slots returns the total slot count across all devices.
+func (s *Swap) Slots() int64 { return int64(len(s.inUse)) }
+
+// SlotsInUse returns how many slots are currently allocated.
+func (s *Swap) SlotsInUse() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nInUse
+}
+
+// Alloc reserves a single slot.
+func (s *Swap) Alloc() (int64, error) {
+	slots, err := s.AllocContig(1)
+	if err != nil {
+		return NoSlot, err
+	}
+	return slots, nil
+}
+
+// AllocContig reserves n contiguous slots and returns the first. The run
+// never spans devices (a cluster must go out in one I/O to one disk);
+// devices are tried in priority order, each with a next-fit scan.
+// Contiguity is what lets UVM page a whole cluster out in one operation.
+func (s *Swap) AllocContig(n int) (int64, error) {
+	if n <= 0 {
+		return NoSlot, fmt.Errorf("swap: bad cluster size %d", n)
+	}
+	s.clock.ChargeN(n, s.costs.SwapSlotAlloc)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if int64(s.nInUse)+int64(n) > int64(len(s.inUse)) {
+		return NoSlot, ErrNoSwap
+	}
+	// Stable priority order: sort lazily each call (device count is tiny).
+	ordered := make([]*device, len(s.devices))
+	copy(ordered, s.devices)
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && ordered[j].priority < ordered[j-1].priority; j-- {
+			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+		}
+	}
+	for _, d := range ordered {
+		if slot, ok := s.allocWithinLocked(d, int64(n)); ok {
+			return slot, nil
+		}
+	}
+	return NoSlot, ErrNoSwap
+}
+
+// allocWithinLocked next-fit scans one device for a run of n free slots.
+func (s *Swap) allocWithinLocked(d *device, n int64) (int64, bool) {
+	if n > d.size {
+		return NoSlot, false
+	}
+	start := d.base
+	if s.hint >= d.base && s.hint < d.base+d.size {
+		start = s.hint
+	}
+	end := d.base + d.size
+	wrapped := false
+	for {
+		if start+n > end {
+			if wrapped {
+				return NoSlot, false
+			}
+			wrapped = true
+			start = d.base
+			continue
+		}
+		run := int64(0)
+		for run < n && !s.inUse[start+run] {
+			run++
+		}
+		if run == n {
+			for i := int64(0); i < n; i++ {
+				s.inUse[start+i] = true
+			}
+			s.nInUse += int(n)
+			s.hint = start + n
+			s.stats.Add(sim.CtrSwapSlotsLive, n)
+			return start, true
+		}
+		start += run + 1
+		if wrapped && start >= d.base+d.size {
+			return NoSlot, false
+		}
+	}
+}
+
+// Free releases one slot.
+func (s *Swap) Free(slot int64) { s.FreeRange(slot, 1) }
+
+// FreeRange releases n consecutive slots starting at slot.
+func (s *Swap) FreeRange(slot int64, n int) {
+	if slot == NoSlot {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := int64(0); i < int64(n); i++ {
+		idx := slot + i
+		if idx < 0 || idx >= int64(len(s.inUse)) {
+			panic(fmt.Sprintf("swap: freeing out-of-range slot %d", idx))
+		}
+		if !s.inUse[idx] {
+			panic(fmt.Sprintf("swap: double free of slot %d", idx))
+		}
+		s.inUse[idx] = false
+		s.nInUse--
+	}
+	s.stats.Add(sim.CtrSwapSlotsLive, -int64(n))
+}
+
+// ReadSlot pages a single slot into buf.
+func (s *Swap) ReadSlot(slot int64, buf []byte) error {
+	s.stats.Inc(sim.CtrSwapIOs)
+	d := s.deviceFor(slot)
+	return d.dev.ReadPages(slot-d.base, [][]byte{buf})
+}
+
+// WriteSlot pages buf out to a single slot.
+func (s *Swap) WriteSlot(slot int64, buf []byte) error {
+	s.stats.Inc(sim.CtrSwapIOs)
+	d := s.deviceFor(slot)
+	return d.dev.WritePages(slot-d.base, [][]byte{buf})
+}
+
+// WriteCluster pages a contiguous cluster out with a single I/O
+// operation. The cluster always lies within one device (AllocContig
+// guarantees it).
+func (s *Swap) WriteCluster(start int64, bufs [][]byte) error {
+	s.stats.Inc(sim.CtrSwapIOs)
+	d := s.deviceFor(start)
+	if start-d.base+int64(len(bufs)) > d.size {
+		return fmt.Errorf("swap: cluster at %d spans devices", start)
+	}
+	return d.dev.WritePages(start-d.base, bufs)
+}
+
+// InUse reports whether a slot is allocated (test/debug helper).
+func (s *Swap) InUse(slot int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return slot >= 0 && slot < int64(len(s.inUse)) && s.inUse[slot]
+}

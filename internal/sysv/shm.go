@@ -1,0 +1,179 @@
+// Package sysv implements the System V shared memory API (shmget, shmat,
+// shmdt, shmctl) on top of either VM system's segment primitive — one of
+// the anonymous-memory consumers the paper lists in §5. The key registry,
+// permissions and lifetime rules live here; the memory itself is the VM
+// system's problem.
+package sysv
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"uvm/internal/param"
+	"uvm/internal/vmapi"
+)
+
+// Errors mirror the System V error conditions.
+var (
+	ErrExists   = errors.New("sysv: segment exists (IPC_EXCL)")
+	ErrNoEnt    = errors.New("sysv: no such segment")
+	ErrRemoved  = errors.New("sysv: segment marked for removal")
+	ErrTooSmall = errors.New("sysv: size exceeds existing segment")
+)
+
+// Key identifies a segment across processes (ftok-style).
+type Key int64
+
+// ID is a segment identifier returned by Shmget.
+type ID int
+
+// GetFlags control Shmget.
+type GetFlags uint8
+
+const (
+	// IPCCreat creates the segment if it does not exist.
+	IPCCreat GetFlags = 1 << iota
+	// IPCExcl makes creation fail if the segment exists.
+	IPCExcl
+)
+
+type segment struct {
+	id       ID
+	key      Key
+	seg      vmapi.ShmSegment
+	attaches int
+	removed  bool // IPC_RMID: destroy once the last attachment detaches
+}
+
+// Registry is the shm namespace of one simulated machine.
+type Registry struct {
+	sys vmapi.System
+
+	mu     sync.Mutex
+	nextID ID
+	byKey  map[Key]*segment
+	byID   map[ID]*segment
+	// attachments: which process ranges belong to which segment, so
+	// Shmdt can find the segment by address.
+	att map[vmapi.Process]map[param.VAddr]*segment
+}
+
+// NewRegistry creates the shm namespace for a VM system.
+func NewRegistry(sys vmapi.System) *Registry {
+	return &Registry{
+		sys:   sys,
+		byKey: make(map[Key]*segment),
+		byID:  make(map[ID]*segment),
+		att:   make(map[vmapi.Process]map[param.VAddr]*segment),
+	}
+}
+
+// Shmget finds or creates the segment for key, sized to hold size bytes.
+func (r *Registry) Shmget(key Key, size int, flags GetFlags) (ID, error) {
+	if size <= 0 {
+		return 0, vmapi.ErrInvalid
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.byKey[key]; ok && !s.removed {
+		if flags&IPCExcl != 0 {
+			return 0, ErrExists
+		}
+		if param.Pages(param.VSize(size)) > s.seg.Pages() {
+			return 0, ErrTooSmall
+		}
+		return s.id, nil
+	}
+	if flags&IPCCreat == 0 {
+		return 0, ErrNoEnt
+	}
+	seg, err := r.sys.NewShmSegment(param.Pages(param.VSize(size)))
+	if err != nil {
+		return 0, err
+	}
+	r.nextID++
+	s := &segment{id: r.nextID, key: key, seg: seg}
+	r.byKey[key] = s
+	r.byID[s.id] = s
+	return s.id, nil
+}
+
+// Shmat attaches the segment to p and returns the address.
+func (r *Registry) Shmat(p vmapi.Process, id ID, prot param.Prot) (param.VAddr, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.byID[id]
+	if !ok {
+		return 0, ErrNoEnt
+	}
+	if s.removed {
+		return 0, ErrRemoved
+	}
+	va, err := s.seg.Attach(p, prot)
+	if err != nil {
+		return 0, err
+	}
+	if r.att[p] == nil {
+		r.att[p] = make(map[param.VAddr]*segment)
+	}
+	r.att[p][va] = s
+	s.attaches++
+	return va, nil
+}
+
+// Shmdt detaches the segment mapped at va in p.
+func (r *Registry) Shmdt(p vmapi.Process, va param.VAddr) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.att[p][va]
+	if !ok {
+		return ErrNoEnt
+	}
+	if err := p.Munmap(va, param.VSize(s.seg.Pages())*param.PageSize); err != nil {
+		return err
+	}
+	delete(r.att[p], va)
+	s.attaches--
+	if s.removed && s.attaches == 0 {
+		r.destroyLocked(s)
+	}
+	return nil
+}
+
+// Shmrm marks the segment for removal (shmctl IPC_RMID): the key becomes
+// free immediately; the memory lives until the last detach.
+func (r *Registry) Shmrm(id ID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.byID[id]
+	if !ok {
+		return ErrNoEnt
+	}
+	if s.removed {
+		return nil
+	}
+	s.removed = true
+	delete(r.byKey, s.key)
+	if s.attaches == 0 {
+		r.destroyLocked(s)
+	}
+	return nil
+}
+
+func (r *Registry) destroyLocked(s *segment) {
+	s.seg.Release()
+	delete(r.byID, s.id)
+}
+
+// Segments returns the number of live segments (debug/tests).
+func (r *Registry) Segments() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.byID)
+}
+
+func (s *segment) String() string {
+	return fmt.Sprintf("shm(id=%d key=%d pages=%d att=%d rm=%v)",
+		s.id, s.key, s.seg.Pages(), s.attaches, s.removed)
+}

@@ -1,0 +1,174 @@
+package sysv
+
+import (
+	"errors"
+	"testing"
+
+	"uvm/internal/bsdvm"
+	"uvm/internal/param"
+	"uvm/internal/uvm"
+	"uvm/internal/vmapi"
+)
+
+func machines() map[string]vmapi.System {
+	cfg := vmapi.MachineConfig{RAMPages: 512, SwapPages: 2048, FSPages: 512, MaxVnodes: 16}
+	return map[string]vmapi.System{
+		"bsdvm": bsdvm.Boot(vmapi.NewMachine(cfg)),
+		"uvm":   uvm.Boot(vmapi.NewMachine(cfg)),
+	}
+}
+
+func TestShmSharedBetweenProcesses(t *testing.T) {
+	for name, sys := range machines() {
+		name, sys := name, sys
+		t.Run(name, func(t *testing.T) {
+			r := NewRegistry(sys)
+			id, err := r.Shmget(42, 3*param.PageSize, IPCCreat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p1, _ := sys.NewProcess("writer")
+			p2, _ := sys.NewProcess("reader")
+			va1, err := r.Shmat(p1, id, param.ProtRW)
+			if err != nil {
+				t.Fatal(err)
+			}
+			va2, err := r.Shmat(p2, id, param.ProtRW)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p1.WriteBytes(va1+param.PageSize, []byte("ipc!")); err != nil {
+				t.Fatal(err)
+			}
+			b := make([]byte, 4)
+			if err := p2.ReadBytes(va2+param.PageSize, b); err != nil {
+				t.Fatal(err)
+			}
+			if string(b) != "ipc!" {
+				t.Fatalf("shm not shared: %q", b)
+			}
+			// Writes flow both ways.
+			p2.WriteBytes(va2, []byte{0x11})
+			p1.ReadBytes(va1, b[:1])
+			if b[0] != 0x11 {
+				t.Fatalf("reverse direction broken: %#x", b[0])
+			}
+		})
+	}
+}
+
+func TestShmgetSemantics(t *testing.T) {
+	for name, sys := range machines() {
+		name, sys := name, sys
+		t.Run(name, func(t *testing.T) {
+			r := NewRegistry(sys)
+			id1, err := r.Shmget(7, param.PageSize, IPCCreat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Same key returns the same segment.
+			id2, err := r.Shmget(7, param.PageSize, IPCCreat)
+			if err != nil || id2 != id1 {
+				t.Fatalf("re-get: id %d vs %d, err %v", id2, id1, err)
+			}
+			// IPC_EXCL fails on an existing key.
+			if _, err := r.Shmget(7, param.PageSize, IPCCreat|IPCExcl); !errors.Is(err, ErrExists) {
+				t.Fatalf("excl: %v", err)
+			}
+			// Over-sized re-get fails.
+			if _, err := r.Shmget(7, 10*param.PageSize, IPCCreat); !errors.Is(err, ErrTooSmall) {
+				t.Fatalf("oversize: %v", err)
+			}
+			// Missing key without IPC_CREAT fails.
+			if _, err := r.Shmget(8, param.PageSize, 0); !errors.Is(err, ErrNoEnt) {
+				t.Fatalf("missing: %v", err)
+			}
+			if _, err := r.Shmget(9, 0, IPCCreat); !errors.Is(err, vmapi.ErrInvalid) {
+				t.Fatalf("zero size: %v", err)
+			}
+		})
+	}
+}
+
+func TestShmRmidLifetime(t *testing.T) {
+	for name, sys := range machines() {
+		name, sys := name, sys
+		t.Run(name, func(t *testing.T) {
+			r := NewRegistry(sys)
+			id, _ := r.Shmget(1, param.PageSize, IPCCreat)
+			p, _ := sys.NewProcess("p")
+			va, err := r.Shmat(p, id, param.ProtRW)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.WriteBytes(va, []byte{0xAB})
+
+			// RMID with a live attachment: key freed, data still usable.
+			if err := r.Shmrm(id); err != nil {
+				t.Fatal(err)
+			}
+			b := make([]byte, 1)
+			if err := p.ReadBytes(va, b); err != nil || b[0] != 0xAB {
+				t.Fatalf("data gone after RMID with live attach: %v %#x", err, b[0])
+			}
+			// New attachments are refused.
+			if _, err := r.Shmat(p, id, param.ProtRW); !errors.Is(err, ErrRemoved) {
+				t.Fatalf("attach after RMID: %v", err)
+			}
+			// The key can be reused for a fresh segment.
+			if _, err := r.Shmget(1, param.PageSize, IPCCreat); err != nil {
+				t.Fatalf("key not freed: %v", err)
+			}
+			// Last detach destroys the old segment.
+			if err := r.Shmdt(p, va); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Access(va, false); !errors.Is(err, vmapi.ErrFault) {
+				t.Fatalf("detached segment still mapped: %v", err)
+			}
+		})
+	}
+}
+
+func TestShmSurvivesPaging(t *testing.T) {
+	// Segment data must round-trip through swap under memory pressure.
+	cfg := vmapi.MachineConfig{RAMPages: 64, SwapPages: 2048, FSPages: 256, MaxVnodes: 8}
+	for name, boot := range map[string]vmapi.Booter{"bsdvm": bsdvm.Boot, "uvm": uvm.Boot} {
+		name, boot := name, boot
+		t.Run(name, func(t *testing.T) {
+			sys := boot(vmapi.NewMachine(cfg))
+			r := NewRegistry(sys)
+			id, _ := r.Shmget(5, 16*param.PageSize, IPCCreat)
+			p, _ := sys.NewProcess("p")
+			va, _ := r.Shmat(p, id, param.ProtRW)
+			for i := 0; i < 16; i++ {
+				p.WriteBytes(va+param.VAddr(i)*param.PageSize, []byte{byte(0xC0 + i)})
+			}
+			// Pressure.
+			hog, _ := sys.NewProcess("hog")
+			hva, _ := hog.Mmap(0, 100*param.PageSize, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
+			if err := hog.TouchRange(hva, 100*param.PageSize, true); err != nil {
+				t.Fatal(err)
+			}
+			b := make([]byte, 1)
+			for i := 0; i < 16; i++ {
+				if err := p.ReadBytes(va+param.VAddr(i)*param.PageSize, b); err != nil {
+					t.Fatalf("page %d: %v", i, err)
+				}
+				if b[0] != byte(0xC0+i) {
+					t.Fatalf("shm page %d corrupted through swap: %#x", i, b[0])
+				}
+			}
+		})
+	}
+}
+
+func TestShmDetachUnknownAddress(t *testing.T) {
+	for _, sys := range machines() {
+		r := NewRegistry(sys)
+		p, _ := sys.NewProcess("p")
+		if err := r.Shmdt(p, 0x4000_0000); !errors.Is(err, ErrNoEnt) {
+			t.Fatalf("detach of nothing: %v", err)
+		}
+	}
+}

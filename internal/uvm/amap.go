@@ -1,0 +1,235 @@
+package uvm
+
+import (
+	"fmt"
+
+	"uvm/internal/param"
+	"uvm/internal/phys"
+	"uvm/internal/swap"
+)
+
+// anon describes a single page of anonymous memory (§5.2): a reference
+// count and the current location of the data — a resident page, a swap
+// slot, or both (a clean resident page whose copy is still valid on swap).
+//
+// An anon with a single reference is writable in place; an anon referenced
+// by more than one amap is copy-on-write.
+type anon struct {
+	refs   int
+	page   *phys.Page
+	swslot int64
+	// loaned marks an anon whose page is *borrowed* via page loanout /
+	// page transfer (§7) rather than owned: the page's true owner is
+	// another anon or object (or nobody, if the owner has since died).
+	loaned bool
+}
+
+func (a *anon) String() string {
+	loc := "none"
+	if a.page != nil {
+		loc = "resident"
+	} else if a.swslot != swap.NoSlot {
+		loc = fmt.Sprintf("swap:%d", a.swslot)
+	}
+	return fmt.Sprintf("anon(refs=%d %s)", a.refs, loc)
+}
+
+func (s *System) newAnon() *anon {
+	s.mach.Clock.Advance(s.mach.Costs.AnonAlloc)
+	s.mach.Stats.Inc("uvm.anon.alloc")
+	s.mach.Stats.Inc("uvm.anon.live")
+	return &anon{refs: 1, swslot: swap.NoSlot}
+}
+
+// anonRef adds a reference (a new amap slot pointing at the anon).
+func (s *System) anonRef(a *anon) { a.refs++ }
+
+// anonUnref drops one reference; the last drop frees the page and swap
+// slot. This reference counting is what makes the collapse operation —
+// and the swap leak it fights — unnecessary in UVM (§5.3).
+func (s *System) anonUnref(a *anon) {
+	if a.refs <= 0 {
+		panic("uvm: anon refcount underflow")
+	}
+	a.refs--
+	if a.refs > 0 {
+		return
+	}
+	if pg := a.page; pg != nil {
+		a.page = nil
+		switch {
+		case a.loaned:
+			// This anon merely borrowed the page: drop the loan; free the
+			// frame only if the true owner is already gone and we were
+			// the last borrower.
+			pg.LoanCount--
+			if pg.LoanCount == 0 && pg.Owner == nil {
+				s.mach.MMU.PageProtect(pg, param.ProtNone)
+				s.mach.Mem.Dequeue(pg)
+				s.mach.Mem.Free(pg)
+			}
+		case pg.LoanCount > 0:
+			// Dying owner of a loaned-out page: orphan the frame. The
+			// borrowers keep the data; the last of them frees it.
+			s.mach.MMU.PageProtect(pg, param.ProtNone)
+			s.mach.Mem.Dequeue(pg)
+			pg.Owner = nil
+		default:
+			s.mach.MMU.PageProtect(pg, param.ProtNone)
+			s.mach.Mem.Dequeue(pg)
+			if pg.WireCount > 0 {
+				pg.WireCount = 0
+			}
+			s.mach.Mem.Free(pg)
+		}
+	}
+	if a.swslot != swap.NoSlot {
+		s.mach.Swap.Free(a.swslot)
+		a.swslot = swap.NoSlot
+	}
+	s.mach.Clock.Advance(s.mach.Costs.AnonFree)
+	s.mach.Stats.Add("uvm.anon.live", -1)
+}
+
+// anonPagein brings a swapped-out anon's data back into a fresh page.
+func (s *System) anonPagein(a *anon) error {
+	if a.page != nil {
+		return nil
+	}
+	pg, err := s.allocPage(a, 0, false)
+	if err != nil {
+		return err
+	}
+	pg.Busy = true
+	err = s.mach.Swap.ReadSlot(a.swslot, pg.Data)
+	pg.Busy = false
+	if err != nil {
+		s.mach.Mem.Free(pg)
+		return err
+	}
+	// The swap copy remains valid until the page is dirtied again; keep
+	// the slot so a clean eviction is free.
+	pg.Dirty = false
+	a.page = pg
+	s.mach.Stats.Inc("uvm.anon.pagein")
+	return nil
+}
+
+// amapImpl is the amap storage interface. The paper (§5.2) notes UVM
+// deliberately separates the amap interface from its implementation so the
+// latter can be swapped (array now, hybrid hash/array later); this
+// interface is that seam.
+type amapImpl interface {
+	get(slot int) *anon
+	set(slot int, a *anon)
+	nslots() int
+	// foreach visits every non-nil slot; return false to stop.
+	foreach(fn func(slot int, a *anon) bool)
+}
+
+// arrayAmap is the array-based implementation UVM currently uses (§5.3:
+// "an array-based implementation whose space cost varies with the number
+// of virtual pages covered").
+type arrayAmap struct {
+	anons []*anon
+}
+
+func (aa *arrayAmap) get(slot int) *anon {
+	if slot < 0 || slot >= len(aa.anons) {
+		return nil
+	}
+	return aa.anons[slot]
+}
+
+func (aa *arrayAmap) set(slot int, a *anon) {
+	if slot < 0 || slot >= len(aa.anons) {
+		panic(fmt.Sprintf("uvm: amap slot %d out of range [0,%d)", slot, len(aa.anons)))
+	}
+	aa.anons[slot] = a
+}
+
+func (aa *arrayAmap) nslots() int { return len(aa.anons) }
+
+func (aa *arrayAmap) foreach(fn func(int, *anon) bool) {
+	for i, a := range aa.anons {
+		if a != nil && !fn(i, a) {
+			return
+		}
+	}
+}
+
+// amap is an anonymous memory map: a set of anons covering a range of
+// virtual pages (§5.2). refs counts the map entries referencing it.
+type amap struct {
+	impl amapImpl
+	refs int
+}
+
+func (s *System) newAmap(nslots int) *amap {
+	s.mach.Clock.Advance(s.mach.Costs.AmapAlloc)
+	// The array implementation pays per-slot initialisation up front; the
+	// hybrid's hash form only pays for the header until slots populate
+	// (the §5.3 space/time trade).
+	if s.cfg.AmapImpl == AmapArray || nslots <= hybridThresholdSlots {
+		s.mach.Clock.ChargeN(nslots, s.mach.Costs.AmapPerSlot)
+	}
+	s.mach.Stats.Inc("uvm.amap.alloc")
+	s.mach.Stats.Inc("uvm.amap.live")
+	return &amap{impl: s.newAmapImpl(nslots), refs: 1}
+}
+
+// amapUnref drops one map-entry reference; the last drop releases every
+// anon.
+//
+// Granularity note: references are per-amap, not per-slot-range (real
+// UVM's amap_unref takes a range). When a clip splits an entry, both
+// halves share the amap; unmapping one half keeps the whole amap — and
+// its anons — alive until the sibling goes too. The waste is transient
+// and bounded by the original mapping's size, and full teardown (exit,
+// complete munmap) always frees everything, which the leak tests verify.
+func (s *System) amapUnref(am *amap) {
+	if am.refs <= 0 {
+		panic("uvm: amap refcount underflow")
+	}
+	am.refs--
+	if am.refs > 0 {
+		return
+	}
+	am.impl.foreach(func(slot int, a *anon) bool {
+		s.anonUnref(a)
+		am.impl.set(slot, nil)
+		return true
+	})
+	s.mach.Stats.Add("uvm.amap.live", -1)
+}
+
+// amapCopy clears an entry's needs-copy flag (§5.2, Figure 3):
+//
+//   - no amap yet: allocate an empty one sized to the entry;
+//   - sole reference to the amap: nothing to copy — just clear the flag
+//     (the "child" case in Figure 3);
+//   - shared amap: allocate a new amap and copy the anon *pointers* for
+//     the entry's slice, bumping each anon's reference count. No page data
+//     moves; that is deferred to the per-anon copy-on-write fault.
+func (s *System) amapCopy(e *entry) {
+	defer func() { e.needsCopy = false }()
+	if e.amap == nil {
+		e.amap = s.newAmap(e.pages())
+		e.amapOff = 0
+		return
+	}
+	if e.amap.refs == 1 {
+		return
+	}
+	n := e.pages()
+	na := s.newAmap(n)
+	for i := 0; i < n; i++ {
+		if a := e.amap.impl.get(e.amapOff + i); a != nil {
+			s.anonRef(a)
+			na.impl.set(i, a)
+		}
+	}
+	s.amapUnref(e.amap)
+	e.amap = na
+	e.amapOff = 0
+}

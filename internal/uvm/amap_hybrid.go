@@ -1,0 +1,113 @@
+package uvm
+
+// Hybrid amap implementation. §5.3 notes that the array-based amap "is
+// expensive for larger sparsely allocated amaps, but the cost could
+// easily be reduced by using a hybrid amap implementation that uses both
+// hash tables and arrays" — and §5.2 that the amap interface was
+// deliberately separated from its implementation to allow exactly this
+// change. This file is that change: small or dense amaps use the flat
+// array; large sparse ones a bucketed hash, converting to the array form
+// if they densify.
+
+// hybridThresholdSlots is the size below which a flat array is always
+// used (covers up to 512 KB mappings).
+const hybridThresholdSlots = 128
+
+// densifyNumerator/Denominator: convert hash -> array when more than 1/4
+// of the slots are populated (the array is then at most 4x larger than
+// the live entries and far faster).
+const (
+	densifyNumerator   = 1
+	densifyDenominator = 4
+)
+
+// hashAmap stores sparse amaps as a slot->anon map.
+type hashAmap struct {
+	slots map[int]*anon
+	n     int // nslots (virtual size)
+}
+
+func (ha *hashAmap) get(slot int) *anon {
+	if slot < 0 || slot >= ha.n {
+		return nil
+	}
+	return ha.slots[slot]
+}
+
+func (ha *hashAmap) set(slot int, a *anon) {
+	if slot < 0 || slot >= ha.n {
+		panic("uvm: hash amap slot out of range")
+	}
+	if a == nil {
+		delete(ha.slots, slot)
+		return
+	}
+	ha.slots[slot] = a
+}
+
+func (ha *hashAmap) nslots() int { return ha.n }
+
+func (ha *hashAmap) foreach(fn func(int, *anon) bool) {
+	// Deterministic iteration keeps the simulation reproducible.
+	for slot := 0; slot < ha.n; slot++ {
+		if a, ok := ha.slots[slot]; ok && !fn(slot, a) {
+			return
+		}
+	}
+}
+
+func (ha *hashAmap) population() int { return len(ha.slots) }
+
+// hybridAmap wraps the two storage strategies behind one amapImpl,
+// switching representation as density changes.
+type hybridAmap struct {
+	impl amapImpl
+}
+
+func newHybridImpl(nslots int) *hybridAmap {
+	if nslots <= hybridThresholdSlots {
+		return &hybridAmap{impl: &arrayAmap{anons: make([]*anon, nslots)}}
+	}
+	return &hybridAmap{impl: &hashAmap{slots: make(map[int]*anon), n: nslots}}
+}
+
+func (hy *hybridAmap) get(slot int) *anon { return hy.impl.get(slot) }
+
+func (hy *hybridAmap) set(slot int, a *anon) {
+	hy.impl.set(slot, a)
+	if ha, ok := hy.impl.(*hashAmap); ok && a != nil {
+		if ha.population()*densifyDenominator > ha.n*densifyNumerator {
+			hy.densify(ha)
+		}
+	}
+}
+
+func (hy *hybridAmap) densify(ha *hashAmap) {
+	arr := &arrayAmap{anons: make([]*anon, ha.n)}
+	for slot, a := range ha.slots {
+		arr.anons[slot] = a
+	}
+	hy.impl = arr
+}
+
+func (hy *hybridAmap) nslots() int { return hy.impl.nslots() }
+
+func (hy *hybridAmap) foreach(fn func(int, *anon) bool) { hy.impl.foreach(fn) }
+
+// AmapImplKind selects the amap implementation a System uses.
+type AmapImplKind int
+
+const (
+	// AmapArray is UVM's current implementation (§5.3).
+	AmapArray AmapImplKind = iota
+	// AmapHybrid is the paper's suggested hash/array hybrid.
+	AmapHybrid
+)
+
+// newAmapImpl builds storage for nslots slots per the system's config.
+func (s *System) newAmapImpl(nslots int) amapImpl {
+	if s.cfg.AmapImpl == AmapHybrid {
+		return newHybridImpl(nslots)
+	}
+	return &arrayAmap{anons: make([]*anon, nslots)}
+}

@@ -1,0 +1,290 @@
+package uvm
+
+import (
+	"uvm/internal/param"
+	"uvm/internal/phys"
+	"uvm/internal/sim"
+	"uvm/internal/swap"
+	"uvm/internal/vmapi"
+)
+
+// fault is UVM's general-purpose page fault handler (§5.4): written from
+// scratch because neither the SunOS style (everything in the segment
+// driver) nor the BSD VM style (mostly object-chain management) fits the
+// two-level amap/object scheme.
+//
+// The structure is exactly the paper's: look up the faulting entry, check
+// the amap layer, then the object layer, and fail if neither has the
+// data. A write fault on a multiply-referenced anon copies to a fresh
+// anon; a write fault on a singly-referenced anon writes in place (the
+// optimisation BSD VM's chains cannot express, §5.3). After resolving the
+// fault, neighbouring *resident* pages are mapped in according to the
+// entry's advice (four ahead, three behind by default) to absorb future
+// faults (Table 2).
+func (s *System) fault(p *Process, va param.VAddr, access param.Prot) error {
+	s.mach.Clock.Advance(s.mach.Costs.FaultTrap)
+	s.mach.Stats.Inc(sim.CtrFaults)
+	write := access.Allows(param.ProtWrite)
+	if write {
+		s.mach.Stats.Inc(sim.CtrFaultsWrite)
+	} else {
+		s.mach.Stats.Inc(sim.CtrFaultsRead)
+	}
+
+	m := p.m
+	m.lock()
+	defer m.unlock()
+
+	e := m.lookup(va)
+	if e == nil {
+		return vmapi.ErrFault
+	}
+	if !e.prot.Allows(access) {
+		return vmapi.ErrFault
+	}
+
+	// Clear needs-copy before a write can land (amap allocation/copy).
+	// Read faults leave needs-copy alone — the data can be mapped
+	// read-only straight from the lower layers (contrast with BSD VM,
+	// which allocates its shadow object even on read faults).
+	if write && e.needsCopy {
+		s.amapCopy(e)
+	}
+
+	pg, prot, err := s.faultResolve(p, e, va, write)
+	if err != nil {
+		return err
+	}
+	// While needs-copy is set the amap is shared at the *amap* level
+	// (anon reference counts don't see it), so nothing may be mapped
+	// writable — the next write must fault and run amapCopy. Only read
+	// faults can reach here with needs-copy still set.
+	if e.needsCopy {
+		prot &^= param.ProtWrite
+	}
+
+	pg.Referenced = true
+	p.pm.Enter(param.Trunc(va), pg, prot, e.wired > 0)
+	if pg.WireCount == 0 && !pg.Loaned() {
+		s.mach.Mem.Activate(pg)
+	}
+
+	if !s.cfg.DisableLookahead {
+		s.lookahead(p, e, va)
+	}
+	if s.cfg.AsyncPagein {
+		s.asyncPagein(e, va)
+	}
+	return nil
+}
+
+// asyncPagein implements the paper's §10 future-work item: "modify UVM to
+// asynchronously page in non-resident pages that appear to be useful".
+// After a fault, the pages in the advice window that are backed by the
+// object but not resident are brought in with read-ahead I/O that
+// overlaps the faulting process' execution; the next fault then finds
+// them resident and the lookahead machinery maps them for free.
+func (s *System) asyncPagein(e *entry, faultVA param.VAddr) {
+	if e.obj == nil || e.obj.vnode == nil {
+		return
+	}
+	ahead, _ := e.advice.Lookahead()
+	if ahead == 0 {
+		return
+	}
+	base := param.Trunc(faultVA)
+	for d := 1; d <= ahead; d++ {
+		va := base + param.VAddr(d)*param.PageSize
+		if va >= e.end {
+			break
+		}
+		idx := e.objIndex(va)
+		if _, resident := e.obj.pages[idx]; resident {
+			continue
+		}
+		if idx >= e.obj.vnode.NumPages() {
+			break
+		}
+		// Allocate the frame (CPU cost charged) and issue the overlapped
+		// read.
+		pg, err := s.allocPage(e.obj, param.PageToOff(idx), false)
+		if err != nil {
+			return
+		}
+		if err := e.obj.vnode.ReadPageAsync(idx, pg.Data); err != nil {
+			s.mach.Mem.Free(pg)
+			return
+		}
+		pg.Dirty = false
+		e.obj.pages[idx] = pg
+		s.mach.Mem.Activate(pg)
+		s.mach.Stats.Inc("uvm.asyncpagein.pages")
+	}
+}
+
+// faultResolve finds (or creates) the page for va and decides the
+// hardware protection to map it with.
+func (s *System) faultResolve(p *Process, e *entry, va param.VAddr, write bool) (*phys.Page, param.Prot, error) {
+	// ---- Layer 1: the amap (anonymous) layer. ----
+	if e.amap != nil {
+		if a := e.amap.impl.get(e.slotOf(va)); a != nil {
+			return s.faultAnon(e, a, e.slotOf(va), write)
+		}
+	}
+
+	// ---- Layer 2: the backing object layer. ----
+	if e.obj != nil {
+		idx := e.objIndex(va)
+		pg, ok := e.obj.pages[idx]
+		if !ok {
+			var err error
+			pg, err = e.obj.ops.get(e.obj, idx) // pager allocates (§6)
+			if err != nil {
+				return nil, 0, err
+			}
+		}
+		if write && e.cow {
+			// Promote the object page into a fresh anon: the object page
+			// itself is never modified by a private mapping.
+			na := s.newAnon()
+			np, err := s.allocPage(na, 0, false)
+			if err != nil {
+				return nil, 0, err
+			}
+			s.mach.Mem.CopyData(np, pg)
+			np.Dirty = true
+			na.page = np
+			e.amap.impl.set(e.slotOf(va), na)
+			return np, e.prot, nil
+		}
+		if write {
+			if pg.Loaned() {
+				// Writing a shared object page that is out on loan: the
+				// borrowers' view must not change. Replace the object's
+				// page with a private copy and orphan the loaned frame.
+				np, err := s.breakObjLoan(e.obj, idx, pg)
+				if err != nil {
+					return nil, 0, err
+				}
+				pg = np
+			}
+			pg.Dirty = true
+			return pg, e.prot, nil
+		}
+		prot := e.prot
+		if e.cow {
+			prot &^= param.ProtWrite // future writes must fault
+		}
+		return pg, prot, nil
+	}
+
+	// ---- Layer 3: pure zero-fill (null object). ----
+	if e.amap == nil {
+		// First touch of a zero-fill mapping by a read: the amap is
+		// created now (deferred allocation runs out of places to defer).
+		s.amapCopy(e)
+	}
+	na := s.newAnon()
+	np, err := s.allocPage(na, 0, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	np.Dirty = true // anonymous content lives only in RAM until paged
+	na.page = np
+	e.amap.impl.set(e.slotOf(va), na)
+	return np, e.prot, nil
+}
+
+// faultAnon resolves a fault that hit an anon in the amap layer.
+func (s *System) faultAnon(e *entry, a *anon, slot int, write bool) (*phys.Page, param.Prot, error) {
+	if a.page == nil {
+		if err := s.anonPagein(a); err != nil {
+			return nil, 0, err
+		}
+	}
+	pg := a.page
+	if !write {
+		prot := e.prot
+		if a.refs > 1 || pg.Loaned() {
+			prot &^= param.ProtWrite
+		}
+		return pg, prot, nil
+	}
+	if a.refs == 1 && !pg.Loaned() {
+		// Sole owner: write in place. (BSD VM in the same situation
+		// copies the page to the top shadow object — §5.3's "expensive
+		// and unnecessary page allocation and data copy".)
+		pg.Dirty = true
+		// The swap copy (if any) is now stale.
+		if a.swslot != swap.NoSlot {
+			s.mach.Swap.Free(a.swslot)
+			a.swslot = swap.NoSlot
+		}
+		return pg, e.prot, nil
+	}
+	// Copy-on-write: copy the data to a newly allocated anon and drop the
+	// reference to the original (§5.2). Also the loan-break path: writing
+	// to a loaned page must not disturb the borrowers.
+	na := s.newAnon()
+	np, err := s.allocPage(na, 0, false)
+	if err != nil {
+		return nil, 0, err
+	}
+	s.mach.Mem.CopyData(np, pg)
+	np.Dirty = true
+	na.page = np
+	e.amap.impl.set(slot, na)
+	s.anonUnref(a)
+	s.mach.Stats.Inc("uvm.cow.copies")
+	return np, e.prot, nil
+}
+
+// lookahead maps in resident neighbour pages around a fault (§5.4). Only
+// pages already resident are touched — "this mechanism only works for
+// resident pages"; nothing is paged in.
+func (s *System) lookahead(p *Process, e *entry, faultVA param.VAddr) {
+	ahead, behind := e.advice.Lookahead()
+	base := param.Trunc(faultVA)
+	for d := -behind; d <= ahead; d++ {
+		if d == 0 {
+			continue
+		}
+		va := base + param.VAddr(d)*param.PageSize
+		if va < e.start || va >= e.end {
+			continue
+		}
+		if _, ok := p.pm.Lookup(va); ok {
+			continue
+		}
+		var (
+			pg   *phys.Page
+			prot = e.prot
+		)
+		if e.amap != nil {
+			if a := e.amap.impl.get(e.slotOf(va)); a != nil && a.page != nil {
+				pg = a.page
+				if a.refs > 1 || pg.Loaned() {
+					prot &^= param.ProtWrite
+				}
+			}
+		}
+		if pg == nil && e.obj != nil {
+			if op, ok := e.obj.pages[e.objIndex(va)]; ok && !op.Busy {
+				pg = op
+				if e.cow {
+					prot &^= param.ProtWrite
+				}
+			}
+		}
+		if pg == nil || pg.WireCount > 0 {
+			continue
+		}
+		if e.needsCopy {
+			prot &^= param.ProtWrite
+		}
+		pg.Referenced = true
+		p.pm.Enter(va, pg, prot, e.wired > 0)
+		s.mach.Mem.Activate(pg)
+		s.mach.Stats.Inc("uvm.lookahead.mapped")
+	}
+}

@@ -1,0 +1,136 @@
+package uvm
+
+import (
+	"uvm/internal/param"
+	"uvm/internal/phys"
+	"uvm/internal/sim"
+	"uvm/internal/vmapi"
+)
+
+// Page loanout (§7): a process lets shared, copy-on-write copies of its
+// pages be used by other processes, the I/O system, or the IPC system —
+// without a data copy and without fragmenting or disrupting the map
+// structures.
+//
+// A loaned page is made read-only in every address space; the loan is
+// recorded in the page's loan count. Copy-on-write is gracefully
+// preserved: if the owner writes a loaned anon page, the fault routine
+// gives the owner a fresh private copy (faultAnon); if a shared object
+// page on loan is written, the object receives a fresh copy and the
+// loaned frame is orphaned to its borrowers (breakObjLoan). The
+// pagedaemon skips loaned pages, so pageout cannot yank a loan either.
+
+// Loanout loans npages pages starting at addr, faulting them resident
+// first if needed. The returned pages are held by "the kernel" (the
+// caller) until LoanReturn, or until they are handed onward with
+// Transfer.
+func (p *Process) Loanout(addr param.VAddr, npages int) ([]*phys.Page, error) {
+	if p.exited {
+		return nil, vmapi.ErrExited
+	}
+	if npages <= 0 || !param.PageAligned(addr) {
+		return nil, vmapi.ErrInvalid
+	}
+	s := p.sys
+	s.big.Lock()
+	defer s.big.Unlock()
+
+	pages := make([]*phys.Page, 0, npages)
+	for i := 0; i < npages; i++ {
+		va := addr + param.VAddr(i)*param.PageSize
+		if _, ok := p.pm.Lookup(va); !ok {
+			if err := s.fault(p, va, param.ProtRead); err != nil {
+				s.unloanLocked(pages)
+				return nil, err
+			}
+		}
+		pte, ok := p.pm.Lookup(va)
+		if !ok || pte.Page == nil {
+			s.unloanLocked(pages)
+			return nil, vmapi.ErrFault
+		}
+		pg := pte.Page
+		pg.LoanCount++
+		// All mappings become read-only so any write faults and the COW
+		// machinery keeps the borrowers' view stable.
+		s.mach.MMU.PageProtect(pg, param.ProtRead)
+		// The borrower (kernel I/O path) maps the page into its own
+		// address space.
+		s.mach.Clock.Advance(s.mach.Costs.PmapEnter)
+		pages = append(pages, pg)
+	}
+	s.mach.Stats.Add(sim.CtrLoanouts, int64(len(pages)))
+	return pages, nil
+}
+
+// LoanReturn ends a loan obtained from Loanout (for pages that were not
+// handed onward with Transfer). Orphaned frames whose last loan drops are
+// freed.
+func (p *Process) LoanReturn(pages []*phys.Page) {
+	s := p.sys
+	s.big.Lock()
+	defer s.big.Unlock()
+	s.unloanLocked(pages)
+}
+
+func (s *System) unloanLocked(pages []*phys.Page) {
+	for _, pg := range pages {
+		if pg.LoanCount <= 0 {
+			panic("uvm: loan count underflow")
+		}
+		// The borrower tears down its kernel mapping of the page.
+		s.mach.Clock.Advance(s.mach.Costs.PmapRemove)
+		pg.LoanCount--
+		if pg.LoanCount == 0 && pg.Owner == nil {
+			s.mach.MMU.PageProtect(pg, param.ProtNone)
+			s.mach.Mem.Dequeue(pg)
+			s.mach.Mem.Free(pg)
+		}
+	}
+}
+
+// breakObjLoan replaces a loaned object page with a fresh copy owned by
+// the object, orphaning the loaned frame to its borrowers.
+func (s *System) breakObjLoan(o *uobject, idx int, pg *phys.Page) (*phys.Page, error) {
+	np, err := s.allocPage(o, param.PageToOff(idx), false)
+	if err != nil {
+		return nil, err
+	}
+	s.mach.Mem.CopyData(np, pg)
+	np.Dirty = pg.Dirty
+	// Detach the loaned frame from the object; it now belongs to nobody
+	// and survives only for its borrowers.
+	s.mach.MMU.PageProtect(pg, param.ProtNone)
+	s.mach.Mem.Dequeue(pg)
+	pg.Owner = nil
+	o.pages[idx] = np
+	s.mach.Mem.Activate(np)
+	s.mach.Stats.Inc("uvm.loan.broken")
+	return np, nil
+}
+
+// AllocKernelPages allocates n free-standing, owner-less pages filled by
+// fill — modelling data produced by the kernel or arriving from a device
+// (the source side of a page transfer). The pages are wired until
+// transferred or freed.
+func (s *System) AllocKernelPages(n int, fill func(idx int, buf []byte)) ([]*phys.Page, error) {
+	s.big.Lock()
+	defer s.big.Unlock()
+	pages := make([]*phys.Page, 0, n)
+	for i := 0; i < n; i++ {
+		pg, err := s.allocPage(nil, 0, fill == nil)
+		if err != nil {
+			for _, q := range pages {
+				q.WireCount = 0
+				s.mach.Mem.Free(q)
+			}
+			return nil, err
+		}
+		pg.WireCount = 1
+		if fill != nil {
+			fill(i, pg.Data)
+		}
+		pages = append(pages, pg)
+	}
+	return pages, nil
+}

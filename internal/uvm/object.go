@@ -1,0 +1,305 @@
+package uvm
+
+import (
+	"fmt"
+
+	"uvm/internal/param"
+	"uvm/internal/phys"
+	"uvm/internal/sim"
+	"uvm/internal/vfs"
+)
+
+// pagerOps is UVM's pager interface: a table of functions through which
+// all access to a memory object's data is routed (§4, §6). The crucial API
+// property is that get *allocates the page itself* — the fault routine
+// never allocates pages for a pager, giving the pager full control over
+// which page receives the data (§6).
+type pagerOps interface {
+	// name identifies the pager in stats and debug output.
+	name() string
+	// get makes page idx of o resident and returns it, allocating the
+	// page itself.
+	get(o *uobject, idx int) (*phys.Page, error)
+	// put writes a dirty page back to backing store.
+	put(o *uobject, pg *phys.Page) error
+	// detach is called when the object's last mapping reference drops.
+	detach(o *uobject)
+}
+
+// uobject is a uvm_object. For files it is *embedded* in the vnode (the
+// vnode layer stores it in Vnode.VMObj and allocates it together with the
+// vnode) — no separate pager structure, no pager hash table (§6,
+// Figure 4). For anonymous shared objects (aobj) it stands alone.
+type uobject struct {
+	ops    pagerOps
+	refs   int
+	sizePg int
+	pages  map[int]*phys.Page
+
+	vnode *vfs.Vnode // vnode-backed objects
+	// aobj swap slots (uao_swhash equivalent): page idx -> slot.
+	aobjSlots map[int]int64
+}
+
+func (o *uobject) String() string {
+	return fmt.Sprintf("uobj(%s refs=%d pages=%d)", o.ops.name(), o.refs, len(o.pages))
+}
+
+// vnodeObject returns the uvm_object embedded in vn, creating it on first
+// mapping. Unlike BSD VM there is no hash lookup and no separate
+// structure allocations: the object lives inside the vnode.
+func (s *System) vnodeObject(vn *vfs.Vnode) *uobject {
+	if o, ok := vn.VMObj.(*uobject); ok && o != nil {
+		o.refs++
+		if o.refs == 1 {
+			// First mapping reference since the object went inactive: the
+			// VM re-references the vnode.
+			vn.Ref()
+		}
+		return o
+	}
+	o := &uobject{
+		ops:    &vnodePager{sys: s},
+		refs:   1,
+		sizePg: vn.NumPages(),
+		pages:  make(map[int]*phys.Page),
+		vnode:  vn,
+	}
+	vn.Ref()
+	vn.VMObj = o
+	// The recycle hook: when the vnode layer recycles this vnode, UVM
+	// terminates the embedded object (§4 — the single-cache design).
+	vn.OnRecycle = func(v *vfs.Vnode) { s.vnodeRecycled(o) }
+	s.mach.Stats.Inc("uvm.uobj.vnode.created")
+	return o
+}
+
+// objUnref drops a mapping reference on an object. When a vnode object's
+// last mapping goes away UVM does NOT free the pages and does NOT cache
+// the object itself — it simply releases its vnode reference. The pages
+// stay attached to the (now possibly inactive) vnode, and live exactly as
+// long as the vnode cache keeps the vnode: one cache, managed by the vnode
+// layer (§4).
+func (s *System) objUnref(o *uobject) {
+	if o.refs <= 0 {
+		panic("uvm: uobject refcount underflow: " + o.String())
+	}
+	o.refs--
+	if o.refs > 0 {
+		return
+	}
+	o.ops.detach(o)
+}
+
+// vnodeRecycled is the OnRecycle hook: free the object's pages and forget
+// it; the vnode is going away.
+func (s *System) vnodeRecycled(o *uobject) {
+	s.big.Lock()
+	defer s.big.Unlock()
+	for idx, pg := range o.pages {
+		if pg.Dirty {
+			_ = o.vnode.WritePageAsync(idx, pg.Data)
+			pg.Dirty = false
+		}
+		s.freeObjectPage(o, idx, pg)
+	}
+	s.mach.Stats.Inc("uvm.uobj.vnode.recycled")
+}
+
+// freeObjectPage drops one resident page from o.
+func (s *System) freeObjectPage(o *uobject, idx int, pg *phys.Page) {
+	s.mach.MMU.PageProtect(pg, param.ProtNone)
+	delete(o.pages, idx)
+	s.mach.Mem.Dequeue(pg)
+	if pg.WireCount > 0 {
+		pg.WireCount = 0
+	}
+	s.mach.Mem.Free(pg)
+}
+
+// --- vnode pager ---
+
+type vnodePager struct{ sys *System }
+
+func (vp *vnodePager) name() string { return "vnode" }
+
+func (vp *vnodePager) get(o *uobject, idx int) (*phys.Page, error) {
+	pg, err := vp.sys.allocPage(o, param.PageToOff(idx), false)
+	if err != nil {
+		return nil, err
+	}
+	pg.Busy = true
+	if idx < o.vnode.NumPages() {
+		err = o.vnode.ReadPage(idx, pg.Data)
+	} else {
+		vp.sys.mach.Mem.Zero(pg) // mapping past EOF zero-fills
+	}
+	pg.Busy = false
+	if err != nil {
+		vp.sys.mach.Mem.Free(pg)
+		return nil, err
+	}
+	o.pages[idx] = pg
+	pg.Dirty = false
+	vp.sys.mach.Stats.Inc(sim.CtrPageIns)
+	return pg, nil
+}
+
+func (vp *vnodePager) put(o *uobject, pg *phys.Page) error {
+	idx := param.OffToPage(pg.Off)
+	if err := o.vnode.WritePage(idx, pg.Data); err != nil {
+		return err
+	}
+	pg.Dirty = false
+	vp.sys.mach.Stats.Inc(sim.CtrPageOuts)
+	return nil
+}
+
+func (vp *vnodePager) detach(o *uobject) {
+	// Last mapping gone: push modified pages through the buffer cache
+	// (asynchronously — the pages also stay resident), then drop the
+	// VM's vnode reference. The pages stay with the vnode; the vnode
+	// cache decides their fate.
+	for idx, pg := range o.pages {
+		if pg.Dirty {
+			_ = o.vnode.WritePageAsync(idx, pg.Data)
+			pg.Dirty = false
+		}
+	}
+	o.vnode.Unref()
+}
+
+// --- aobj pager (anonymous uvm objects: System V shm, shared anon) ---
+
+type aobjPager struct{ sys *System }
+
+func (ap *aobjPager) name() string { return "aobj" }
+
+// newAObj creates an anonymous uvm_object of n pages.
+func (s *System) newAObj(n int) *uobject {
+	s.mach.Clock.Advance(s.mach.Costs.ObjectAlloc)
+	s.mach.Stats.Inc("uvm.uobj.aobj.created")
+	return &uobject{
+		ops:       &aobjPager{sys: s},
+		refs:      1,
+		sizePg:    n,
+		pages:     make(map[int]*phys.Page),
+		aobjSlots: make(map[int]int64),
+	}
+}
+
+func (ap *aobjPager) get(o *uobject, idx int) (*phys.Page, error) {
+	if slot, ok := o.aobjSlots[idx]; ok {
+		pg, err := ap.sys.allocPage(o, param.PageToOff(idx), false)
+		if err != nil {
+			return nil, err
+		}
+		pg.Busy = true
+		err = ap.sys.mach.Swap.ReadSlot(slot, pg.Data)
+		pg.Busy = false
+		if err != nil {
+			ap.sys.mach.Mem.Free(pg)
+			return nil, err
+		}
+		o.pages[idx] = pg
+		pg.Dirty = false
+		ap.sys.mach.Stats.Inc(sim.CtrPageIns)
+		return pg, nil
+	}
+	// First touch: zero-fill. Anonymous content exists only in RAM, so
+	// the page is born dirty.
+	pg, err := ap.sys.allocPage(o, param.PageToOff(idx), true)
+	if err != nil {
+		return nil, err
+	}
+	o.pages[idx] = pg
+	pg.Dirty = true
+	return pg, nil
+}
+
+func (ap *aobjPager) put(o *uobject, pg *phys.Page) error {
+	// Single-page put path (used outside the pagedaemon's clustering).
+	idx := param.OffToPage(pg.Off)
+	slot, ok := o.aobjSlots[idx]
+	if !ok {
+		var err error
+		slot, err = ap.sys.mach.Swap.Alloc()
+		if err != nil {
+			return err
+		}
+		o.aobjSlots[idx] = slot
+	}
+	if err := ap.sys.mach.Swap.WriteSlot(slot, pg.Data); err != nil {
+		return err
+	}
+	pg.Dirty = false
+	ap.sys.mach.Stats.Inc(sim.CtrPageOuts)
+	return nil
+}
+
+func (ap *aobjPager) detach(o *uobject) {
+	// Anonymous objects die with their last reference: free pages and
+	// swap.
+	for idx, pg := range o.pages {
+		ap.sys.freeObjectPage(o, idx, pg)
+	}
+	for _, slot := range o.aobjSlots {
+		ap.sys.mach.Swap.Free(slot)
+	}
+	o.aobjSlots = make(map[int]int64)
+	ap.sys.mach.Stats.Inc("uvm.uobj.aobj.destroyed")
+}
+
+// --- device pager ---
+
+// devPager demonstrates the flexibility of the pager-allocates-pages API
+// (§6's ROM example): the pager hands out pre-allocated, pager-owned
+// frames rather than fresh ones; they are wired and never paged.
+type devPager struct {
+	sys    *System
+	frames []*phys.Page
+}
+
+func (dp *devPager) name() string { return "device" }
+
+// newDeviceObject creates an object backed by n device-owned frames
+// (filled by fill, e.g. simulated ROM or frame-buffer contents).
+func (s *System) newDeviceObject(n int, fill func(idx int, buf []byte)) (*uobject, error) {
+	dp := &devPager{sys: s}
+	o := &uobject{ops: dp, refs: 1, sizePg: n, pages: make(map[int]*phys.Page)}
+	for i := 0; i < n; i++ {
+		pg, err := s.allocPage(o, param.PageToOff(i), false)
+		if err != nil {
+			return nil, err
+		}
+		pg.WireCount = 1 // device memory never pages
+		if fill != nil {
+			fill(i, pg.Data)
+		}
+		dp.frames = append(dp.frames, pg)
+	}
+	s.mach.Stats.Inc("uvm.uobj.dev.created")
+	return o, nil
+}
+
+func (dp *devPager) get(o *uobject, idx int) (*phys.Page, error) {
+	if idx < 0 || idx >= len(dp.frames) {
+		return nil, fmt.Errorf("uvm: device page %d out of range", idx)
+	}
+	pg := dp.frames[idx]
+	o.pages[idx] = pg
+	return pg, nil
+}
+
+func (dp *devPager) put(o *uobject, pg *phys.Page) error { return nil } // device memory is not paged
+
+func (dp *devPager) detach(o *uobject) {
+	for _, pg := range dp.frames {
+		pg.WireCount = 0
+		dp.sys.mach.MMU.PageProtect(pg, param.ProtNone)
+		dp.sys.mach.Mem.Dequeue(pg)
+		dp.sys.mach.Mem.Free(pg)
+	}
+	o.pages = make(map[int]*phys.Page)
+	dp.frames = nil
+}

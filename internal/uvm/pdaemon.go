@@ -1,0 +1,221 @@
+package uvm
+
+import (
+	"uvm/internal/param"
+	"uvm/internal/phys"
+	"uvm/internal/sim"
+	"uvm/internal/swap"
+	"uvm/internal/vmapi"
+)
+
+// allocPage allocates a page frame, waking the pagedaemon on shortage.
+func (s *System) allocPage(owner any, off param.PageOff, zero bool) (*phys.Page, error) {
+	for attempt := 0; ; attempt++ {
+		pg, err := s.mach.Mem.Alloc(owner, off, zero)
+		if err == nil {
+			return pg, nil
+		}
+		if attempt >= 3 {
+			return nil, vmapi.ErrDeadlock
+		}
+		if rerr := s.reclaim(s.cfg.ReclaimBatch); rerr != nil {
+			return nil, rerr
+		}
+	}
+}
+
+// reclaim is UVM's pagedaemon. Its signature improvement over BSD VM (§6)
+// is aggressive clustering of anonymous memory: because anonymous pages
+// have no permanent home on backing store, the daemon *reassigns* their
+// swap locations so that all the dirty anonymous pages it has collected —
+// whatever their offsets — occupy one contiguous run of slots and go out
+// in a single large I/O.
+func (s *System) reclaim(target int) error {
+	freed := 0
+	for pass := 0; pass < 4 && freed < target; pass++ {
+		if s.mach.Mem.InactivePages() < target*2 {
+			s.mach.Mem.RefillInactive(target * 2)
+		}
+		var cluster []*phys.Page
+		s.mach.Mem.ScanInactive(target*4, func(pg *phys.Page) bool {
+			if freed+len(cluster) >= target {
+				return false
+			}
+			if pg.Referenced {
+				s.mach.Mem.Activate(pg)
+				return true
+			}
+			switch owner := pg.Owner.(type) {
+			case *anon:
+				s.mach.MMU.PageProtect(pg, param.ProtNone)
+				if pg.Dirty {
+					if len(cluster) < s.cfg.MaxCluster {
+						pg.Busy = true
+						s.mach.Mem.Dequeue(pg)
+						cluster = append(cluster, pg)
+					}
+					return true
+				}
+				// Clean anon page: the swap copy is current; just free.
+				owner.page = nil
+				s.mach.Mem.Dequeue(pg)
+				s.mach.Mem.Free(pg)
+				freed++
+			case *uobject:
+				s.mach.MMU.PageProtect(pg, param.ProtNone)
+				idx := param.OffToPage(pg.Off)
+				if owner.aobjSlots != nil {
+					// Anonymous object pages cluster exactly like anons.
+					if pg.Dirty {
+						if len(cluster) < s.cfg.MaxCluster {
+							pg.Busy = true
+							s.mach.Mem.Dequeue(pg)
+							cluster = append(cluster, pg)
+						}
+						return true
+					}
+					delete(owner.pages, idx)
+					s.mach.Mem.Dequeue(pg)
+					s.mach.Mem.Free(pg)
+					freed++
+					return true
+				}
+				// Vnode page: clean pages are free to drop; dirty ones are
+				// written back through the pager.
+				if pg.Dirty {
+					if err := owner.ops.put(owner, pg); err != nil {
+						s.mach.Mem.Activate(pg)
+						return true
+					}
+				}
+				delete(owner.pages, idx)
+				s.mach.Mem.Dequeue(pg)
+				s.mach.Mem.Free(pg)
+				freed++
+			default:
+				// Unknown owner (shouldn't happen): skip.
+			}
+			return true
+		})
+
+		if len(cluster) > 0 {
+			n, err := s.clusterPageout(cluster)
+			freed += n
+			if err != nil {
+				// Could not clean (e.g. swap exhausted): put the
+				// unwritten pages back on the queues and stop trying.
+				for _, pg := range cluster {
+					if pg.Busy {
+						pg.Busy = false
+						s.mach.Mem.Activate(pg)
+					}
+				}
+				break
+			}
+		}
+	}
+	if freed == 0 {
+		return vmapi.ErrDeadlock
+	}
+	s.mach.Stats.Add("uvm.pdaemon.freed", int64(freed))
+	return nil
+}
+
+// clusterPageout writes the collected dirty anonymous pages out. With
+// clustering enabled, every page's swap location is (re)assigned into one
+// contiguous run and the whole cluster leaves in one I/O operation; with
+// the ablation flag set, each page goes to its own slot with its own I/O —
+// which is precisely BSD VM's behaviour (Figure 5's two curves).
+func (s *System) clusterPageout(cluster []*phys.Page) (int, error) {
+	if s.cfg.DisableClustering || len(cluster) == 1 {
+		return s.pageoutSingles(cluster)
+	}
+	start, err := s.mach.Swap.AllocContig(len(cluster))
+	if err != nil {
+		// Swap too fragmented for a contiguous run: fall back.
+		return s.pageoutSingles(cluster)
+	}
+	bufs := make([][]byte, len(cluster))
+	for i, pg := range cluster {
+		s.reassignSlot(pg, start+int64(i))
+		bufs[i] = pg.Data
+	}
+	if err := s.mach.Swap.WriteCluster(start, bufs); err != nil {
+		return 0, err
+	}
+	for _, pg := range cluster {
+		s.finishPageout(pg)
+	}
+	s.mach.Stats.Inc("uvm.pdaemon.clusters")
+	s.mach.Stats.Add(sim.CtrPageOuts, int64(len(cluster)))
+	return len(cluster), nil
+}
+
+// pageoutSingles is the unclustered path: one slot, one I/O, per page.
+func (s *System) pageoutSingles(cluster []*phys.Page) (int, error) {
+	done := 0
+	for _, pg := range cluster {
+		slot := s.currentSlot(pg)
+		if slot == swap.NoSlot {
+			var err error
+			slot, err = s.mach.Swap.Alloc()
+			if err != nil {
+				return done, err
+			}
+			s.setSlot(pg, slot)
+		}
+		if err := s.mach.Swap.WriteSlot(slot, pg.Data); err != nil {
+			return done, err
+		}
+		s.finishPageout(pg)
+		s.mach.Stats.Inc(sim.CtrPageOuts)
+		done++
+	}
+	return done, nil
+}
+
+func (s *System) currentSlot(pg *phys.Page) int64 {
+	switch owner := pg.Owner.(type) {
+	case *anon:
+		return owner.swslot
+	case *uobject:
+		if slot, ok := owner.aobjSlots[param.OffToPage(pg.Off)]; ok {
+			return slot
+		}
+	}
+	return swap.NoSlot
+}
+
+func (s *System) setSlot(pg *phys.Page, slot int64) {
+	switch owner := pg.Owner.(type) {
+	case *anon:
+		owner.swslot = slot
+	case *uobject:
+		owner.aobjSlots[param.OffToPage(pg.Off)] = slot
+	}
+}
+
+// reassignSlot frees a page's old swap location (if any) and assigns the
+// new one — the "dynamic reassignment of swap location at page-level
+// granularity" of §5.3/§6.
+func (s *System) reassignSlot(pg *phys.Page, slot int64) {
+	if old := s.currentSlot(pg); old != swap.NoSlot {
+		s.mach.Swap.Free(old)
+		s.mach.Stats.Inc("uvm.pdaemon.reassigned")
+	}
+	s.setSlot(pg, slot)
+}
+
+// finishPageout detaches the now-clean page from its owner and frees it.
+func (s *System) finishPageout(pg *phys.Page) {
+	pg.Dirty = false
+	pg.Busy = false
+	switch owner := pg.Owner.(type) {
+	case *anon:
+		owner.page = nil
+	case *uobject:
+		delete(owner.pages, param.OffToPage(pg.Off))
+	}
+	s.mach.Mem.Dequeue(pg)
+	s.mach.Mem.Free(pg)
+}

@@ -1,0 +1,477 @@
+package uvm
+
+import (
+	"uvm/internal/param"
+	"uvm/internal/pmap"
+	"uvm/internal/vfs"
+	"uvm/internal/vmapi"
+)
+
+// Process is a UVM process. It is exported (unlike bsdvm's) because the
+// data movement mechanisms of §7 — Loanout, Transfer, Export/Import — are
+// UVM-only extensions beyond the common vmapi.Process interface.
+type Process struct {
+	sys  *System
+	name string
+
+	m  *vmMap
+	pm *pmap.Pmap
+
+	exited bool
+	// vforked marks a child sharing its parent's address space.
+	vforked bool
+
+	// uareaWired counts the pages of the user structure / kernel stack,
+	// whose wired state lives here in the proc structure — NOT in the
+	// kernel map (§3.2).
+	uareaWired int
+
+	// kstackWires records buffer ranges temporarily wired by sysctl and
+	// physio; the record lives "on the kernel stack" (§3.2), never in the
+	// map.
+	kstackWires []struct {
+		start, end param.VAddr
+	}
+
+	// ptPages counts i386 page-table pages; under UVM their wired state
+	// is recorded only in the pmap (here mirrored as a counter), never as
+	// map entries.
+	ptPages int
+}
+
+// NewProcess implements vmapi.System.
+func (s *System) NewProcess(name string) (vmapi.Process, error) {
+	s.big.Lock()
+	defer s.big.Unlock()
+	return s.newProcessLocked(name)
+}
+
+func (s *System) newProcessLocked(name string) (*Process, error) {
+	p := &Process{sys: s, name: name}
+	p.m = s.newMap(name, param.UserTextBase, param.UserMax, false)
+	p.pm = p.m.pmap
+
+	// i386 page-table wiring: pmap-only bookkeeping (§3.2).
+	p.pm.OnPTAlloc = func() { p.ptPages++ }
+	p.pm.OnPTFree = func() {
+		if p.ptPages > 0 {
+			p.ptPages--
+		}
+	}
+
+	// User structure + kernel stack: allocated from the pre-wired uarea
+	// arena; the wired state is recorded in the proc structure, consuming
+	// zero kernel map entries (§3.2). The arena pages still have to be
+	// claimed and cleared — identical work on both systems.
+	p.uareaWired = 4
+	s.mach.Clock.ChargeN(p.uareaWired, s.mach.Costs.PageAlloc)
+	s.mach.Clock.ChargeN(p.uareaWired, s.mach.Costs.PageZero)
+
+	s.procs[p] = struct{}{}
+	s.mach.Stats.Inc("uvm.proc.created")
+	return p, nil
+}
+
+// Name implements vmapi.Process.
+func (p *Process) Name() string { return p.name }
+
+// Exited implements vmapi.Process.
+func (p *Process) Exited() bool { return p.exited }
+
+// MapEntryCount implements vmapi.Process.
+func (p *Process) MapEntryCount() int {
+	p.sys.big.Lock()
+	defer p.sys.big.Unlock()
+	return p.m.n
+}
+
+// ResidentPages implements vmapi.Process.
+func (p *Process) ResidentPages() int { return p.pm.ResidentCount() }
+
+// PTPages returns the page-table page count tracked in the pmap.
+func (p *Process) PTPages() int { return p.pm.PTPages() }
+
+// Mincore implements vmapi.Process: per-page residency of the range.
+func (p *Process) Mincore(addr param.VAddr, length param.VSize) ([]bool, error) {
+	if p.exited {
+		return nil, vmapi.ErrExited
+	}
+	if length == 0 {
+		return nil, vmapi.ErrInvalid
+	}
+	p.sys.big.Lock()
+	defer p.sys.big.Unlock()
+	start := param.Trunc(addr)
+	end := param.Round(addr + param.VAddr(length))
+	out := make([]bool, 0, (end-start)>>param.PageShift)
+	for va := start; va < end; va += param.PageSize {
+		_, ok := p.pm.Lookup(va)
+		out = append(out, ok)
+	}
+	return out, nil
+}
+
+// Mmap implements vmapi.Process — in one step. The entry is created with
+// its final protection, inheritance and advice under a single lock
+// acquisition; there is no window where the mapping exists with wrong
+// attributes (§3.1).
+func (p *Process) Mmap(addr param.VAddr, length param.VSize, prot param.Prot,
+	flags vmapi.MapFlags, vn *vfs.Vnode, off param.PageOff) (param.VAddr, error) {
+
+	if p.exited {
+		return 0, vmapi.ErrExited
+	}
+	if length == 0 || !flags.Valid() || !param.PageAligned(param.VAddr(off)) {
+		return 0, vmapi.ErrInvalid
+	}
+	if (flags&vmapi.MapAnon != 0) == (vn != nil) {
+		return 0, vmapi.ErrInvalid
+	}
+	length = param.RoundSize(length)
+
+	s := p.sys
+	s.big.Lock()
+	defer s.big.Unlock()
+
+	m := p.m
+	m.lock()
+	var removed []*entry
+	var va param.VAddr
+	if flags&vmapi.MapFixed != 0 {
+		if !param.PageAligned(addr) || addr+param.VAddr(length) > m.allocMax {
+			m.unlock()
+			return 0, vmapi.ErrInvalid
+		}
+		removed = m.unmapPhase1(addr, addr+param.VAddr(length))
+		va = addr
+	} else {
+		var err error
+		va, err = m.findSpace(addr, length)
+		if err != nil {
+			m.unlock()
+			return 0, err
+		}
+	}
+
+	private := flags&vmapi.MapPrivate != 0
+	e := s.allocEntry(m)
+	e.start, e.end = va, va+param.VAddr(length)
+	e.prot = prot // the requested protection, set in one step
+	e.maxProt = param.ProtRWX
+	e.off = off
+	if private {
+		e.inherit = param.InheritCopy
+	} else {
+		e.inherit = param.InheritShare
+	}
+	switch {
+	case flags&vmapi.MapAnon != 0 && private:
+		// Zero-fill: null object, amap allocated lazily (needs-copy).
+		e.cow, e.needsCopy = true, true
+	case flags&vmapi.MapAnon != 0:
+		// Shared anonymous memory: an aobj backs it.
+		e.obj = s.newAObj(param.Pages(length))
+	case private:
+		// Private file mapping: object below, amap (lazily) above.
+		e.obj = s.vnodeObject(vn)
+		e.cow, e.needsCopy = true, true
+	default:
+		// Shared file mapping: object only.
+		e.obj = s.vnodeObject(vn)
+	}
+	m.insert(e)
+	m.unlock()
+
+	// Fixed-replacement teardown happens after the lock drops (phase 2).
+	if len(removed) > 0 {
+		s.unmapPhase2(m, removed)
+	}
+	return va, nil
+}
+
+// Munmap implements vmapi.Process with the two-phase structure of §3.1:
+// entries leave the map under the lock; references — and any teardown
+// I/O — are dropped after it is released.
+func (p *Process) Munmap(addr param.VAddr, length param.VSize) error {
+	if p.exited {
+		return vmapi.ErrExited
+	}
+	if !param.PageAligned(addr) || length == 0 {
+		return vmapi.ErrInvalid
+	}
+	s := p.sys
+	s.big.Lock()
+	defer s.big.Unlock()
+	m := p.m
+	m.lock()
+	removed := m.unmapPhase1(addr, addr+param.VAddr(param.RoundSize(length)))
+	m.unlock()
+	s.unmapPhase2(m, removed)
+	return nil
+}
+
+// Mprotect implements vmapi.Process.
+func (p *Process) Mprotect(addr param.VAddr, length param.VSize, prot param.Prot) error {
+	if p.exited {
+		return vmapi.ErrExited
+	}
+	p.sys.big.Lock()
+	defer p.sys.big.Unlock()
+	return p.m.protect(addr, addr+param.VAddr(param.RoundSize(length)), prot)
+}
+
+// Minherit implements vmapi.Process (§5.4: BSD's minherit is one of the
+// mechanisms UVM's amap design had to support beyond SunOS).
+func (p *Process) Minherit(addr param.VAddr, length param.VSize, inh param.Inherit) error {
+	if p.exited {
+		return vmapi.ErrExited
+	}
+	p.sys.big.Lock()
+	defer p.sys.big.Unlock()
+	m := p.m
+	m.lock()
+	defer m.unlock()
+	for _, e := range m.entriesIn(addr, addr+param.VAddr(param.RoundSize(length))) {
+		e.inherit = inh
+	}
+	return nil
+}
+
+// Madvise implements vmapi.Process; UVM's fault handler uses the advice to
+// size its lookahead window (§5.4).
+func (p *Process) Madvise(addr param.VAddr, length param.VSize, adv param.Advice) error {
+	if p.exited {
+		return vmapi.ErrExited
+	}
+	p.sys.big.Lock()
+	defer p.sys.big.Unlock()
+	m := p.m
+	m.lock()
+	defer m.unlock()
+	for _, e := range m.entriesIn(addr, addr+param.VAddr(param.RoundSize(length))) {
+		e.advice = adv
+	}
+	return nil
+}
+
+// Msync implements vmapi.Process.
+func (p *Process) Msync(addr param.VAddr, length param.VSize) error {
+	if p.exited {
+		return vmapi.ErrExited
+	}
+	p.sys.big.Lock()
+	defer p.sys.big.Unlock()
+	m := p.m
+	m.lock()
+	defer m.unlock()
+	end := addr + param.VAddr(param.RoundSize(length))
+	for cur := m.head; cur != nil; cur = cur.next {
+		if cur.end <= addr || cur.start >= end || cur.obj == nil || cur.obj.vnode == nil {
+			continue
+		}
+		// Flush only the object pages the requested range maps.
+		lo, hi := cur.start, cur.end
+		if addr > lo {
+			lo = addr
+		}
+		if end < hi {
+			hi = end
+		}
+		loIdx, hiIdx := cur.objIndex(lo), cur.objIndex(hi-1)
+		for idx, pg := range cur.obj.pages {
+			if idx < loIdx || idx > hiIdx || !pg.Dirty {
+				continue
+			}
+			if err := cur.obj.ops.put(cur.obj, pg); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Fork implements vmapi.Process per each entry's inheritance (§5.2,
+// Figure 3): copy-inherited ranges share the amap under needs-copy in
+// both processes, and the parent's resident pages are write-protected.
+func (p *Process) Fork(name string) (vmapi.Process, error) {
+	if p.exited {
+		return nil, vmapi.ErrExited
+	}
+	s := p.sys
+	s.big.Lock()
+	defer s.big.Unlock()
+
+	child, err := s.newProcessLocked(name)
+	if err != nil {
+		return nil, err
+	}
+	pm, cm := p.m, child.m
+	pm.lock()
+	cm.lock()
+	for e := pm.head; e != nil; e = e.next {
+		switch e.inherit {
+		case param.InheritNone:
+			continue
+		case param.InheritShare:
+			// Sharing a needs-copy mapping requires materialising the
+			// amap first so both processes genuinely share it (§5.4).
+			if e.needsCopy {
+				s.amapCopy(e)
+			}
+			ce := s.allocEntry(cm)
+			*ce = *e
+			ce.prev, ce.next = nil, nil
+			ce.wired = 0
+			if ce.amap != nil {
+				ce.amap.refs++
+			}
+			if ce.obj != nil {
+				ce.obj.refs++
+			}
+			cm.insert(ce)
+		case param.InheritCopy:
+			ce := s.allocEntry(cm)
+			*ce = *e
+			ce.prev, ce.next = nil, nil
+			ce.wired = 0
+			ce.cow, ce.needsCopy = true, true
+			if ce.amap != nil {
+				ce.amap.refs++
+			}
+			if ce.obj != nil {
+				ce.obj.refs++
+			}
+			if e.cow {
+				// The parent's own view also becomes needs-copy, and its
+				// resident pages are write-protected so the next store
+				// faults (the shared per-page fork cost, §5.3).
+				e.needsCopy = true
+				p.pm.Protect(e.start, e.end, e.prot&^param.ProtWrite)
+			}
+			cm.insert(ce)
+		}
+	}
+	cm.unlock()
+	pm.unlock()
+	s.mach.Stats.Inc("uvm.forks")
+	return child, nil
+}
+
+// Vfork implements vmapi.Process: the child shares the parent's map and
+// pmap; only the uarea is new (the footnote-3 fast path).
+func (p *Process) Vfork(name string) (vmapi.Process, error) {
+	if p.exited {
+		return nil, vmapi.ErrExited
+	}
+	if p.vforked {
+		return nil, vmapi.ErrInvalid
+	}
+	s := p.sys
+	s.big.Lock()
+	defer s.big.Unlock()
+	child, err := s.newProcessLocked(name)
+	if err != nil {
+		return nil, err
+	}
+	child.m = p.m
+	child.pm = p.pm
+	child.vforked = true
+	s.mach.Stats.Inc("uvm.vforks")
+	return child, nil
+}
+
+// Exit implements vmapi.Process: two-phase teardown of the whole space.
+func (p *Process) Exit() {
+	if p.exited {
+		return
+	}
+	s := p.sys
+	s.big.Lock()
+	defer s.big.Unlock()
+
+	if !p.vforked {
+		m := p.m
+		m.lock()
+		removed := m.unmapPhase1(param.UserTextBase, param.UserMax)
+		m.unlock()
+		s.unmapPhase2(m, removed)
+
+		p.pm.RemoveAll()
+	}
+	p.uareaWired = 0
+	p.kstackWires = nil
+
+	delete(s.procs, p)
+	p.exited = true
+	s.mach.Stats.Inc("uvm.proc.exited")
+}
+
+// Access implements vmapi.Process.
+func (p *Process) Access(addr param.VAddr, write bool) error {
+	if p.exited {
+		return vmapi.ErrExited
+	}
+	access := param.ProtRead
+	if write {
+		access = param.ProtWrite
+	}
+	s := p.sys
+	s.big.Lock()
+	defer s.big.Unlock()
+	if pte, ok := p.pm.Extract(addr); ok && pte.Prot.Allows(access) {
+		s.mach.Clock.Advance(s.mach.Costs.PageTouch)
+		pte.Page.Referenced = true
+		if write {
+			pte.Page.Dirty = true
+		}
+		return nil
+	}
+	return s.fault(p, addr, access)
+}
+
+// TouchRange implements vmapi.Process.
+func (p *Process) TouchRange(addr param.VAddr, length param.VSize, write bool) error {
+	end := addr + param.VAddr(param.RoundSize(length))
+	for va := param.Trunc(addr); va < end; va += param.PageSize {
+		if err := p.Access(va, write); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadBytes implements vmapi.Process.
+func (p *Process) ReadBytes(addr param.VAddr, buf []byte) error {
+	return p.copyBytes(addr, buf, false)
+}
+
+// WriteBytes implements vmapi.Process.
+func (p *Process) WriteBytes(addr param.VAddr, data []byte) error {
+	return p.copyBytes(addr, data, true)
+}
+
+func (p *Process) copyBytes(addr param.VAddr, buf []byte, write bool) error {
+	done := 0
+	for done < len(buf) {
+		va := addr + param.VAddr(done)
+		pageOff := int(va & param.PageMask)
+		n := param.PageSize - pageOff
+		if n > len(buf)-done {
+			n = len(buf) - done
+		}
+		if err := p.Access(va, write); err != nil {
+			return err
+		}
+		pte, ok := p.pm.Lookup(va)
+		if !ok || pte.Page == nil {
+			return vmapi.ErrFault
+		}
+		if write {
+			copy(pte.Page.Data[pageOff:pageOff+n], buf[done:done+n])
+		} else {
+			copy(buf[done:done+n], pte.Page.Data[pageOff:pageOff+n])
+		}
+		done += n
+	}
+	return nil
+}

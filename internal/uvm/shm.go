@@ -1,0 +1,77 @@
+package uvm
+
+import (
+	"uvm/internal/param"
+	"uvm/internal/vmapi"
+)
+
+// System V shared memory support (§5: anonymous memory is used "for
+// System V shared memory"). A segment is an aobj; attachments are shared
+// mappings of it. The uvm_object reference count keeps the segment (and
+// its swap) alive until the last attachment and the creation reference
+// are gone.
+
+type shmSegment struct {
+	sys    *System
+	obj    *uobject
+	npages int
+}
+
+// NewShmSegment implements vmapi.System.
+func (s *System) NewShmSegment(npages int) (vmapi.ShmSegment, error) {
+	if npages <= 0 {
+		return nil, vmapi.ErrInvalid
+	}
+	s.big.Lock()
+	defer s.big.Unlock()
+	return &shmSegment{sys: s, obj: s.newAObj(npages), npages: npages}, nil
+}
+
+// Pages implements vmapi.ShmSegment.
+func (seg *shmSegment) Pages() int { return seg.npages }
+
+// Attach implements vmapi.ShmSegment.
+func (seg *shmSegment) Attach(pi vmapi.Process, prot param.Prot) (param.VAddr, error) {
+	p, ok := pi.(*Process)
+	if !ok || p.sys != seg.sys {
+		return 0, vmapi.ErrInvalid
+	}
+	if p.exited {
+		return 0, vmapi.ErrExited
+	}
+	s := seg.sys
+	s.big.Lock()
+	defer s.big.Unlock()
+	if seg.obj == nil {
+		return 0, vmapi.ErrInvalid
+	}
+	m := p.m
+	m.lock()
+	defer m.unlock()
+	length := param.VSize(seg.npages) * param.PageSize
+	va, err := m.findSpace(param.MmapHintBase, length)
+	if err != nil {
+		return 0, err
+	}
+	e := s.allocEntry(m)
+	e.start, e.end = va, va+param.VAddr(length)
+	e.obj = seg.obj
+	seg.obj.refs++
+	e.prot, e.maxProt = prot, param.ProtRWX
+	e.inherit = param.InheritShare
+	m.insert(e)
+	s.mach.Stats.Inc("uvm.shm.attach")
+	return va, nil
+}
+
+// Release implements vmapi.ShmSegment.
+func (seg *shmSegment) Release() {
+	if seg.obj == nil {
+		return
+	}
+	s := seg.sys
+	s.big.Lock()
+	defer s.big.Unlock()
+	s.objUnref(seg.obj)
+	seg.obj = nil
+}

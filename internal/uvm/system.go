@@ -1,0 +1,144 @@
+// Package uvm implements UVM, the paper's contribution: a virtual memory
+// system with two-level (amap + object) copy-on-write instead of shadow
+// object chains, memory objects embedded in their data sources, a
+// general-purpose fault handler with resident-page lookahead, single-call
+// mapping, two-phase unmap, wiring without map fragmentation, aggressive
+// clustered anonymous pageout with swap-slot reassignment, and three
+// VM-based data movement mechanisms (page loanout, page transfer, map
+// entry passing).
+//
+// It boots on the same vmapi.Machine substrate as internal/bsdvm — same
+// pmap layer, same cost table, same disks — so every measured difference
+// between the two packages is a design difference the paper describes.
+package uvm
+
+import (
+	"sync"
+
+	"uvm/internal/param"
+	"uvm/internal/vmapi"
+)
+
+// Config tunes UVM. Use DefaultConfig as the baseline.
+type Config struct {
+	// ReclaimBatch is the pagedaemon's per-activation free target.
+	ReclaimBatch int
+	// MaxCluster is the largest anonymous pageout cluster the pagedaemon
+	// assembles (64 pages = 256 KB, UVM's default).
+	MaxCluster int
+	// DisableClustering forces one-page-at-a-time anonymous pageout
+	// (ablation for Figure 5).
+	DisableClustering bool
+	// DisableLookahead turns off fault-time neighbour mapping (ablation
+	// for Table 2).
+	DisableLookahead bool
+	// KernelEntryPool bounds kernel map entries, as in BSD VM.
+	KernelEntryPool int
+	// AmapImpl selects the anonymous-map storage strategy: the array
+	// implementation UVM ships with, or the hash/array hybrid the paper
+	// suggests for large sparse amaps (§5.3).
+	AmapImpl AmapImplKind
+	// AsyncPagein enables the paper's §10 future-work feature: on a
+	// fault, schedule non-resident neighbour pages for pagein so nearby
+	// future faults find them resident.
+	AsyncPagein bool
+}
+
+// DefaultConfig returns UVM's standard tuning.
+func DefaultConfig() Config {
+	return Config{
+		ReclaimBatch:    64,
+		MaxCluster:      64,
+		KernelEntryPool: 4000,
+	}
+}
+
+// System is a booted UVM instance.
+type System struct {
+	mach *vmapi.Machine
+	cfg  Config
+
+	big sync.Mutex
+
+	kmap      *vmMap
+	kentryUse int
+
+	procs map[*Process]struct{}
+}
+
+// Boot boots UVM on machine m with default configuration.
+func Boot(m *vmapi.Machine) vmapi.System { return BootConfig(m, DefaultConfig()) }
+
+// BootConfig boots with an explicit configuration.
+func BootConfig(m *vmapi.Machine, cfg Config) *System {
+	s := &System{
+		mach:  m,
+		cfg:   cfg,
+		procs: make(map[*Process]struct{}),
+	}
+	s.kmap = s.newMap("kernel", param.KernelBase, param.KernelMax, true)
+
+	// Kernel text, data, bss — always-wired segments. Because they are
+	// always wired, UVM does not track per-range wiring in the kernel map
+	// (§3.2); adjacent boot allocations merge.
+	for _, seg := range []struct {
+		pages int
+		prot  param.Prot
+	}{{300, param.ProtRX}, {80, param.ProtRW}, {120, param.ProtRW}} {
+		if _, err := s.kernelAllocLocked(seg.pages, seg.prot); err != nil {
+			panic("uvm: kernel boot allocation failed: " + err.Error())
+		}
+	}
+	return s
+}
+
+// Name implements vmapi.System.
+func (s *System) Name() string { return "uvm" }
+
+// Machine implements vmapi.System.
+func (s *System) Machine() *vmapi.Machine { return s.mach }
+
+// KernelAlloc implements vmapi.System: wired kernel allocations coalesce
+// with their neighbour when attributes match, so boot-time subsystem
+// allocations do not each consume a map entry.
+func (s *System) KernelAlloc(npages int, prot param.Prot) (param.VAddr, error) {
+	s.big.Lock()
+	defer s.big.Unlock()
+	return s.kernelAllocLocked(npages, prot)
+}
+
+func (s *System) kernelAllocLocked(npages int, prot param.Prot) (param.VAddr, error) {
+	s.kmap.lock()
+	defer s.kmap.unlock()
+	va, err := s.kmap.findSpace(0, param.VSize(npages)*param.PageSize)
+	if err != nil {
+		return 0, err
+	}
+	e := s.allocEntry(s.kmap)
+	e.start, e.end = va, va+param.VAddr(npages)*param.PageSize
+	e.prot, e.maxProt = prot, param.ProtRWX
+	e.wired = 1
+	s.kmap.insertOrMerge(e)
+	return va, nil
+}
+
+// KernelMapEntries implements vmapi.System.
+func (s *System) KernelMapEntries() int {
+	s.big.Lock()
+	defer s.big.Unlock()
+	return s.kmap.n
+}
+
+// TotalMapEntries implements vmapi.System.
+func (s *System) TotalMapEntries() int {
+	s.big.Lock()
+	defer s.big.Unlock()
+	total := s.kmap.n
+	for p := range s.procs {
+		if p.vforked {
+			continue // shares its parent's map; counting it would double
+		}
+		total += p.m.n
+	}
+	return total
+}

@@ -1,0 +1,139 @@
+package uvm
+
+import (
+	"testing"
+
+	"uvm/internal/param"
+	"uvm/internal/sim"
+	"uvm/internal/vmapi"
+)
+
+func TestUBCReadMatchesFile(t *testing.T) {
+	s, m := bootTest(t, 256)
+	vn := mkfile(t, m, "/ubc", 3, 0x50)
+	defer vn.Unref()
+
+	buf := make([]byte, 10)
+	n, err := s.FileRead(vn, param.PageSize+4, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("read %d bytes", n)
+	}
+	for i, b := range buf {
+		if b != 0x51 { // page 1 fill
+			t.Fatalf("byte %d = %#x", i, b)
+		}
+	}
+}
+
+func TestUBCShortReadAtEOF(t *testing.T) {
+	s, m := bootTest(t, 256)
+	vn := mkfile(t, m, "/short", 1, 1)
+	defer vn.Unref()
+	buf := make([]byte, 100)
+	n, err := s.FileRead(vn, param.PageSize-20, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 20 {
+		t.Fatalf("read %d bytes at EOF boundary, want 20", n)
+	}
+	if n2, _ := s.FileRead(vn, param.PageSize+5, buf); n2 != 0 {
+		t.Fatalf("read past EOF returned %d", n2)
+	}
+}
+
+func TestUBCWriteVisibleThroughMapping(t *testing.T) {
+	// The whole point of UBC: write(2) and mmap are one cache.
+	s, m := bootTest(t, 256)
+	vn := mkfile(t, m, "/coherent", 2, 0)
+	defer vn.Unref()
+	p := newProc(t, s, "p")
+	va, _ := p.Mmap(0, 2*param.PageSize, param.ProtRead, vmapi.MapShared, vn, 0)
+	// Touch through the mapping first, so the page is resident.
+	if err := p.Access(va, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.FileWrite(vn, 3, []byte("UBC!")); err != nil {
+		t.Fatal(err)
+	}
+	b := make([]byte, 4)
+	if err := p.ReadBytes(va+3, b); err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "UBC!" {
+		t.Fatalf("write(2) not visible through mapping: %q", b)
+	}
+}
+
+func TestUBCMappingWriteVisibleThroughRead(t *testing.T) {
+	s, m := bootTest(t, 256)
+	vn := mkfile(t, m, "/coherent2", 1, 0)
+	defer vn.Unref()
+	p := newProc(t, s, "p")
+	va, _ := p.Mmap(0, param.PageSize, param.ProtRW, vmapi.MapShared, vn, 0)
+	if err := p.WriteBytes(va+100, []byte("via-mmap")); err != nil {
+		t.Fatal(err)
+	}
+	// No msync needed: read(2) sees the store immediately.
+	buf := make([]byte, 8)
+	if _, err := s.FileRead(vn, 100, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "via-mmap" {
+		t.Fatalf("mmap store not visible through read(2): %q", buf)
+	}
+}
+
+func TestUBCSingleCacheNoDoubleIO(t *testing.T) {
+	// Reading a file via read(2) then mapping it must not re-read the
+	// disk: one cache, one copy.
+	s, m := bootTest(t, 256)
+	vn := mkfile(t, m, "/once", 4, 7)
+	defer vn.Unref()
+	buf := make([]byte, 4*param.PageSize)
+	if _, err := s.FileRead(vn, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	reads := m.Stats.Get(sim.CtrDiskReads)
+	p := newProc(t, s, "p")
+	va, _ := p.Mmap(0, 4*param.PageSize, param.ProtRead, vmapi.MapShared, vn, 0)
+	if err := p.TouchRange(va, 4*param.PageSize, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats.Get(sim.CtrDiskReads); got != reads {
+		t.Fatalf("mapping after read(2) hit the disk %d times: double caching", got-reads)
+	}
+}
+
+func TestUBCWriteReachesDiskViaFlush(t *testing.T) {
+	s, m := bootTest(t, 256)
+	vn := mkfile(t, m, "/flush", 1, 0)
+	if _, err := s.FileWrite(vn, 0, []byte{0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the last reference: the detach path flushes dirty pages.
+	vn.Unref()
+	_ = m
+	// Reopen and read the raw file page.
+	vn2, _ := m.FS.Open("/flush")
+	defer vn2.Unref()
+	raw := make([]byte, param.PageSize)
+	if err := vn2.ReadPage(0, raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw[0] != 0xbe {
+		t.Fatalf("UBC write never reached the disk: %#x", raw[0])
+	}
+}
+
+func TestUBCInvalidArgs(t *testing.T) {
+	s, m := bootTest(t, 256)
+	vn := mkfile(t, m, "/inv", 1, 0)
+	defer vn.Unref()
+	if _, err := s.FileRead(vn, -1, make([]byte, 4)); err != vmapi.ErrInvalid {
+		t.Fatalf("negative offset: %v", err)
+	}
+}

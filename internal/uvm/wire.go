@@ -1,0 +1,152 @@
+package uvm
+
+import (
+	"uvm/internal/param"
+	"uvm/internal/vmapi"
+)
+
+// This file implements the five wiring paths of §3.2. Four of them store
+// the wired state outside the map structure:
+//
+//  1. kernel text/data/bss — always wired, nothing to record (system.go);
+//  2. the user structure — wired state lives in the proc structure
+//     (Process.uareaWired);
+//  3. sysctl — wired state lives on the kernel stack (kstackWires);
+//  4. physio — likewise;
+//  5. mlock — the only case that must record wiring in the process map,
+//     because there is no other place to store it.
+//
+// Only path 5 fragments map entries under UVM; under BSD VM paths 2-5 all
+// disturb maps (plus the i386 page-table path).
+
+// wirePagesNoMap faults the range resident and wires the pages via the
+// pmap and page structures only — the map is never touched.
+func (p *Process) wirePagesNoMap(start, end param.VAddr) error {
+	for va := start; va < end; va += param.PageSize {
+		if _, ok := p.pm.Lookup(va); !ok {
+			if err := p.sys.fault(p, va, param.ProtRead); err != nil {
+				return err
+			}
+		}
+		pte, ok := p.pm.Lookup(va)
+		if !ok || pte.Page == nil {
+			return vmapi.ErrFault
+		}
+		pte.Page.WireCount++
+		p.sys.mach.Mem.Dequeue(pte.Page)
+		p.pm.ChangeWiring(va, true)
+	}
+	return nil
+}
+
+// unwirePagesNoMap reverses wirePagesNoMap.
+func (p *Process) unwirePagesNoMap(start, end param.VAddr) {
+	for va := start; va < end; va += param.PageSize {
+		if pte, ok := p.pm.Lookup(va); ok && pte.Page != nil && pte.Page.WireCount > 0 {
+			pte.Page.WireCount--
+			if pte.Page.WireCount == 0 {
+				p.sys.mach.Mem.Activate(pte.Page)
+			}
+		}
+		p.pm.ChangeWiring(va, false)
+	}
+}
+
+// Sysctl implements vmapi.Process: the user buffer is wired for the
+// duration of the call, with the wired state recorded on the process'
+// kernel stack — the map is untouched and no entry fragmentation occurs
+// (§3.2).
+func (p *Process) Sysctl(addr param.VAddr, length param.VSize) error {
+	if p.exited {
+		return vmapi.ErrExited
+	}
+	s := p.sys
+	s.big.Lock()
+	defer s.big.Unlock()
+	start, end := param.Trunc(addr), param.Round(addr+param.VAddr(length))
+	if err := p.wirePagesNoMap(start, end); err != nil {
+		return err
+	}
+	p.kstackWires = append(p.kstackWires, struct{ start, end param.VAddr }{start, end})
+
+	// The kernel copies the result out to the wired buffer.
+	s.mach.Clock.ChargeN(param.Pages(param.VSize(end-start)), s.mach.Costs.PageTouch)
+
+	p.kstackWires = p.kstackWires[:len(p.kstackWires)-1]
+	p.unwirePagesNoMap(start, end)
+	return nil
+}
+
+// Physio implements vmapi.Process: raw device I/O with the buffer wired
+// through the kernel stack record, not the map (§3.2).
+func (p *Process) Physio(addr param.VAddr, length param.VSize) error {
+	if p.exited {
+		return vmapi.ErrExited
+	}
+	s := p.sys
+	s.big.Lock()
+	defer s.big.Unlock()
+	start, end := param.Trunc(addr), param.Round(addr+param.VAddr(length))
+	if err := p.wirePagesNoMap(start, end); err != nil {
+		return err
+	}
+	p.kstackWires = append(p.kstackWires, struct{ start, end param.VAddr }{start, end})
+
+	npages := param.Pages(param.VSize(end - start))
+	s.mach.Clock.Advance(s.mach.Costs.DiskOp)
+	s.mach.Clock.ChargeN(npages, s.mach.Costs.DiskPageIO)
+
+	p.kstackWires = p.kstackWires[:len(p.kstackWires)-1]
+	p.unwirePagesNoMap(start, end)
+	return nil
+}
+
+// Mlock implements vmapi.Process: the one wiring path where the wired
+// state must live in the map (so it survives arbitrary later syscalls),
+// and therefore the one path that fragments UVM map entries too.
+func (p *Process) Mlock(addr param.VAddr, length param.VSize) error {
+	if p.exited {
+		return vmapi.ErrExited
+	}
+	s := p.sys
+	s.big.Lock()
+	defer s.big.Unlock()
+	start, end := param.Trunc(addr), param.Round(addr+param.VAddr(length))
+
+	m := p.m
+	m.lock()
+	entries := m.entriesIn(start, end)
+	if len(entries) == 0 {
+		m.unlock()
+		return vmapi.ErrFault
+	}
+	for _, e := range entries {
+		e.wired++
+	}
+	m.unlock()
+
+	return p.wirePagesNoMap(start, end)
+}
+
+// Munlock implements vmapi.Process.
+func (p *Process) Munlock(addr param.VAddr, length param.VSize) error {
+	if p.exited {
+		return vmapi.ErrExited
+	}
+	s := p.sys
+	s.big.Lock()
+	defer s.big.Unlock()
+	start, end := param.Trunc(addr), param.Round(addr+param.VAddr(length))
+
+	m := p.m
+	m.lock()
+	for _, e := range m.entriesIn(start, end) {
+		if e.wired > 0 {
+			e.wired--
+		}
+	}
+	m.unlock()
+
+	p.unwirePagesNoMap(start, end)
+	return nil
+}

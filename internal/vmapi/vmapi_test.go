@@ -1,0 +1,66 @@
+package vmapi
+
+import (
+	"testing"
+
+	"uvm/internal/param"
+)
+
+func TestMapFlagsValid(t *testing.T) {
+	valid := []MapFlags{
+		MapAnon | MapPrivate,
+		MapAnon | MapShared,
+		MapPrivate,
+		MapShared,
+		MapShared | MapFixed,
+	}
+	for _, f := range valid {
+		if !f.Valid() {
+			t.Errorf("flags %b should be valid", f)
+		}
+	}
+	invalid := []MapFlags{
+		0,
+		MapAnon,
+		MapPrivate | MapShared,
+		MapAnon | MapPrivate | MapShared,
+		MapFixed,
+	}
+	for _, f := range invalid {
+		if f.Valid() {
+			t.Errorf("flags %b should be invalid", f)
+		}
+	}
+}
+
+func TestDefaultConfigMatchesPaperTestbed(t *testing.T) {
+	cfg := DefaultConfig()
+	if got := cfg.RAMPages << param.PageShift; got != 32<<20 {
+		t.Errorf("RAM = %d bytes, paper testbed has 32 MB", got)
+	}
+	if cfg.SwapPages <= int64(cfg.RAMPages>>1) {
+		t.Errorf("swap should comfortably exceed RAM")
+	}
+	if cfg.MaxVnodes <= 100 {
+		t.Errorf("vnode table (%d) must exceed BSD VM's 100-object cache for Figure 2 to be meaningful", cfg.MaxVnodes)
+	}
+}
+
+func TestNewMachine(t *testing.T) {
+	m := NewMachine(MachineConfig{RAMPages: 64, SwapPages: 128, FSPages: 256, MaxVnodes: 10})
+	if m.Mem.TotalPages() != 64 {
+		t.Errorf("RAM pages = %d", m.Mem.TotalPages())
+	}
+	if m.Swap.Slots() != 128 {
+		t.Errorf("swap slots = %d", m.Swap.Slots())
+	}
+	if m.FSDisk.Blocks() != 256 {
+		t.Errorf("fs blocks = %d", m.FSDisk.Blocks())
+	}
+	if m.Clock == nil || m.Costs == nil || m.Stats == nil || m.MMU == nil || m.FS == nil {
+		t.Error("incomplete machine")
+	}
+	if m.Clock.Now() != 0 {
+		t.Errorf("machine boots at t=%v", m.Clock.Now())
+	}
+}

@@ -1,0 +1,203 @@
+// Package workload builds the paper's workloads: program images with
+// realistic segment layouts (Table 1), boot and X11 scenarios (Table 1),
+// command page-fault traces (Table 2), the Apache-style file server
+// (Figure 2), and the fork and allocation drivers behind Figures 5 and 6.
+//
+// Workloads are written once against vmapi and run unmodified on either
+// VM system.
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"uvm/internal/param"
+	"uvm/internal/vfs"
+	"uvm/internal/vmapi"
+)
+
+// SegKind classifies a program segment.
+type SegKind int
+
+const (
+	SegText  SegKind = iota // file-backed, read-execute, private
+	SegData                 // file-backed, read-write, private (COW)
+	SegBss                  // zero-fill, read-write
+	SegStack                // zero-fill, read-write, fixed high address
+)
+
+// Segment is one mapping of a program image.
+type Segment struct {
+	Name  string
+	Kind  SegKind
+	Pages int
+	// Addr fixes the placement; 0 means "next address in the current
+	// placement region".
+	Addr param.VAddr
+}
+
+// SysctlCall describes a sysctl(2) the program issues during startup and
+// where its result buffer lives: segment index + page offset within it.
+// Under BSD VM each call fragments the process map (§3.2).
+type SysctlCall struct {
+	Seg     int // index into the flattened segment list
+	PageOff int // first page of the buffer within the segment
+	Pages   int
+}
+
+// Image is a program: an executable layout plus startup behaviour.
+type Image struct {
+	Name     string
+	Segments []Segment
+	Sysctls  []SysctlCall
+	// TouchPages makes exec touch the first page of each segment (what
+	// the program counter and stack pointer do immediately), which is
+	// what triggers i386 page-table allocation.
+	TouchPages bool
+}
+
+// CatImage is a statically linked program in the mold of /bin/cat:
+// text, data, bss, stack, signal trampoline and argument area — six map
+// entries — plus the single sysctl a C startup performs, with its buffer
+// in the last page of the stack.
+func CatImage() *Image {
+	return &Image{
+		Name: "cat",
+		Segments: []Segment{
+			{Name: "text", Kind: SegText, Pages: 8},
+			{Name: "data", Kind: SegData, Pages: 2},
+			{Name: "bss", Kind: SegBss, Pages: 4},
+			{Name: "stack", Kind: SegStack, Pages: 16, Addr: param.UserStackTop - 16*param.PageSize},
+			{Name: "sigtramp", Kind: SegBss, Pages: 1, Addr: param.UserStackTop},
+			{Name: "args", Kind: SegBss, Pages: 1, Addr: param.UserStackTop + param.PageSize},
+		},
+		// Buffer in the final page of the stack: wiring it clips the
+		// stack entry once.
+		Sysctls:    []SysctlCall{{Seg: 3, PageOff: 15, Pages: 1}},
+		TouchPages: true,
+	}
+}
+
+// OdImage is a dynamically linked program in the mold of /usr/bin/od: the
+// six base entries plus ld.so and libc (three segments each, in two
+// distinct 4 MB regions), with the extra sysctl traffic the runtime
+// linker generates — one buffer mid-segment (two clips) and one at the
+// stack end (one clip).
+func OdImage() *Image {
+	img := CatImage()
+	img.Name = "od"
+	img.Segments = append(img.Segments,
+		Segment{Name: "ld.so.text", Kind: SegText, Pages: 4, Addr: param.SharedLibBase},
+		Segment{Name: "ld.so.data", Kind: SegData, Pages: 1},
+		Segment{Name: "ld.so.bss", Kind: SegBss, Pages: 1},
+		Segment{Name: "libc.text", Kind: SegText, Pages: 12, Addr: param.SharedLibBase + 0x0040_0000},
+		Segment{Name: "libc.data", Kind: SegData, Pages: 2},
+		Segment{Name: "libc.bss", Kind: SegBss, Pages: 4},
+	)
+	// The runtime linker's sysctl lands mid-way through libc's bss
+	// (segment 11), clipping that entry twice.
+	img.Sysctls = append(img.Sysctls, SysctlCall{Seg: 11, PageOff: 1, Pages: 1})
+	return img
+}
+
+// XClientImage models an X11-era client: dynamically linked against a
+// larger library set (seven more segments across a third region).
+func XClientImage(n int) *Image {
+	img := OdImage()
+	img.Name = fmt.Sprintf("x11-%d", n)
+	img.Segments = append(img.Segments,
+		Segment{Name: "libX11.text", Kind: SegText, Pages: 20, Addr: param.SharedLibBase + 0x0080_0000},
+		Segment{Name: "libX11.data", Kind: SegData, Pages: 2},
+		Segment{Name: "libX11.bss", Kind: SegBss, Pages: 2},
+		Segment{Name: "libXt.text", Kind: SegText, Pages: 16, Addr: param.SharedLibBase + 0x00c0_0000},
+		Segment{Name: "libXt.data", Kind: SegData, Pages: 2},
+		Segment{Name: "libXt.bss", Kind: SegBss, Pages: 2},
+		Segment{Name: "heap", Kind: SegBss, Pages: 32},
+		Segment{Name: "shm", Kind: SegBss, Pages: 16},
+	)
+	return img
+}
+
+// Exec creates a process running the image: it maps every segment,
+// touches the first page of each (instruction fetch / stack setup), and
+// performs the image's startup sysctl calls.
+func Exec(sys vmapi.System, img *Image) (vmapi.Process, error) {
+	p, err := sys.NewProcess(img.Name)
+	if err != nil {
+		return nil, err
+	}
+	fs := sys.Machine().FS
+
+	// One backing file per image holds text+data (Figure 1: "the text and
+	// data areas of a file are different parts of a single object").
+	filePages := 0
+	for _, seg := range img.Segments {
+		if seg.Kind == SegText || seg.Kind == SegData {
+			filePages += seg.Pages
+		}
+	}
+	fname := "/bin/" + img.Name
+	if filePages > 0 {
+		if err := fs.Create(fname, filePages*param.PageSize, func(idx int, buf []byte) {
+			buf[0] = byte(idx)
+		}); err != nil && !errors.Is(err, vfs.ErrExists) {
+			return nil, err
+		}
+	}
+
+	var (
+		next    param.VAddr = param.UserTextBase
+		fileOff param.PageOff
+		placed  []param.VAddr
+	)
+	for _, seg := range img.Segments {
+		addr := seg.Addr
+		if addr == 0 {
+			addr = next
+		}
+		size := param.VSize(seg.Pages) * param.PageSize
+		var va param.VAddr
+		switch seg.Kind {
+		case SegText, SegData:
+			vn, err := fs.Open(fname)
+			if err != nil {
+				return nil, err
+			}
+			prot := param.ProtRX
+			if seg.Kind == SegData {
+				prot = param.ProtRW
+			}
+			va, err = p.Mmap(addr, size, prot, vmapi.MapPrivate|vmapi.MapFixed, vn, fileOff)
+			vn.Unref() // the mapping holds its own object reference
+			if err != nil {
+				return nil, fmt.Errorf("map %s/%s: %w", img.Name, seg.Name, err)
+			}
+			fileOff += param.PageOff(size)
+		case SegBss, SegStack:
+			var err error
+			va, err = p.Mmap(addr, size, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate|vmapi.MapFixed, nil, 0)
+			if err != nil {
+				return nil, fmt.Errorf("map %s/%s: %w", img.Name, seg.Name, err)
+			}
+		}
+		placed = append(placed, va)
+		next = va + param.VAddr(size)
+	}
+
+	if img.TouchPages {
+		for i, seg := range img.Segments {
+			write := seg.Kind == SegBss || seg.Kind == SegStack || seg.Kind == SegData
+			if err := p.Access(placed[i], write); err != nil {
+				return nil, fmt.Errorf("touch %s/%s: %w", img.Name, seg.Name, err)
+			}
+		}
+	}
+
+	for _, sc := range img.Sysctls {
+		va := placed[sc.Seg] + param.VAddr(sc.PageOff)*param.PageSize
+		if err := p.Sysctl(va, param.VSize(sc.Pages)*param.PageSize); err != nil {
+			return nil, fmt.Errorf("sysctl in %s: %w", img.Name, err)
+		}
+	}
+	return p, nil
+}

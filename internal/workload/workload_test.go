@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"testing"
+
+	"uvm/internal/bsdvm"
+	"uvm/internal/param"
+	"uvm/internal/uvm"
+	"uvm/internal/vmapi"
+)
+
+func machine() *vmapi.Machine {
+	return vmapi.NewMachine(vmapi.MachineConfig{
+		RAMPages:  8192,
+		SwapPages: 16384,
+		FSPages:   32768,
+		MaxVnodes: 2000,
+	})
+}
+
+func TestExecCatLayout(t *testing.T) {
+	for _, boot := range []vmapi.Booter{bsdvm.Boot, uvm.Boot} {
+		sys := boot(machine())
+		p, err := Exec(sys, CatImage())
+		if err != nil {
+			t.Fatalf("%s: %v", sys.Name(), err)
+		}
+		if p.MapEntryCount() < 6 {
+			t.Errorf("%s: cat has %d entries, expected at least the 6 segments",
+				sys.Name(), p.MapEntryCount())
+		}
+		// Text must actually contain the binary's bytes.
+		b := make([]byte, 1)
+		if err := p.ReadBytes(param.UserTextBase, b); err != nil {
+			t.Fatalf("%s: read text: %v", sys.Name(), err)
+		}
+		if b[0] != 0 {
+			t.Errorf("%s: text page 0 = %#x", sys.Name(), b[0])
+		}
+	}
+}
+
+// TestTable1Mechanics pins the per-process map entry arithmetic that
+// drives Table 1: the counts must match the paper's cat and od rows
+// exactly, since the five wiring paths are modelled mechanically.
+func TestTable1Mechanics(t *testing.T) {
+	cases := []struct {
+		img      func() *Image
+		bsd, uvm int
+	}{
+		{CatImage, 11, 6}, // paper Table 1: cat (static link)
+		{OdImage, 21, 12}, // paper Table 1: od (dynamic link)
+	}
+	for _, c := range cases {
+		img := c.img()
+		bsys := bsdvm.Boot(machine())
+		base := bsys.TotalMapEntries()
+		if _, err := Exec(bsys, img); err != nil {
+			t.Fatal(err)
+		}
+		gotBSD := bsys.TotalMapEntries() - base
+
+		usys := uvm.Boot(machine())
+		base = usys.TotalMapEntries()
+		if _, err := Exec(usys, c.img()); err != nil {
+			t.Fatal(err)
+		}
+		gotUVM := usys.TotalMapEntries() - base
+
+		if gotBSD != c.bsd {
+			t.Errorf("%s: BSD VM entries = %d, paper says %d", img.Name, gotBSD, c.bsd)
+		}
+		if gotUVM != c.uvm {
+			t.Errorf("%s: UVM entries = %d, paper says %d", img.Name, gotUVM, c.uvm)
+		}
+	}
+}
+
+func TestBootScenariosRun(t *testing.T) {
+	for _, boot := range []vmapi.Booter{bsdvm.Boot, uvm.Boot} {
+		sys := boot(machine())
+		procs, err := MultiUserBoot(sys)
+		if err != nil {
+			t.Fatalf("%s: %v", sys.Name(), err)
+		}
+		if len(procs) != 21 { // init, sh, 9 static, 10 dynamic daemons
+			t.Errorf("%s: %d processes", sys.Name(), len(procs))
+		}
+		if sys.TotalMapEntries() <= 0 {
+			t.Errorf("%s: no entries", sys.Name())
+		}
+	}
+}
+
+func TestBootEntryOrdering(t *testing.T) {
+	// Whatever the absolute values, the Table 1 ordering must hold: UVM
+	// uses strictly fewer entries than BSD VM at every scenario scale.
+	scenarios := []func(vmapi.System) ([]vmapi.Process, error){
+		SingleUserBoot, MultiUserBoot, StartX11,
+	}
+	for i, scen := range scenarios {
+		bsys := bsdvm.Boot(machine())
+		if _, err := scen(bsys); err != nil {
+			t.Fatal(err)
+		}
+		usys := uvm.Boot(machine())
+		if _, err := scen(usys); err != nil {
+			t.Fatal(err)
+		}
+		b, u := bsys.TotalMapEntries(), usys.TotalMapEntries()
+		if u >= b {
+			t.Errorf("scenario %d: UVM %d entries >= BSD %d", i, u, b)
+		}
+	}
+}
+
+func TestCommandFaultCounts(t *testing.T) {
+	// Table 2's headline: BSD VM faults once per page; UVM's lookahead
+	// collapses the warm-file faults roughly 5x.
+	cmd := Command{Name: "ls-test", WarmPages: 33, ColdPages: 26}
+	bsys := bsdvm.Boot(machine())
+	bf, err := cmd.Run(bsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	usys := uvm.Boot(machine())
+	uf, err := cmd.Run(usys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf != 59 {
+		t.Errorf("BSD faults = %d, want 59 (warm+cold)", bf)
+	}
+	if uf != 33 {
+		t.Errorf("UVM faults = %d, want 33 (ceil(warm/5)+cold)", uf)
+	}
+}
+
+func TestFileServer(t *testing.T) {
+	sys := uvm.Boot(machine())
+	srv, err := NewFileServer(sys, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cold, err := srv.ServeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := srv.ServeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm >= cold {
+		t.Errorf("warm pass (%v) not faster than cold (%v)", warm, cold)
+	}
+}
