@@ -8,6 +8,8 @@
 package bench
 
 import (
+	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -160,6 +162,106 @@ func BenchmarkRC(b *testing.B) {
 			b.ReportMetric(100*(1-float64(uv)/float64(bsd)), "saving-pct")
 		}
 	}
+}
+
+// --- Parallel scaling (beyond the paper: the big-lock removal) ---
+
+// BenchmarkParallelFault drives write faults from GOMAXPROCS goroutines,
+// each in its own process over its own anonymous region — the workload
+// the fine-grained locking in internal/uvm exists for. Compare across
+// -cpu 1,2,4,8 to see wall-clock scaling; internal/bsdvm (one big lock)
+// is the contrast baseline.
+func BenchmarkParallelFault(b *testing.B) {
+	for _, sysName := range []string{"bsdvm", "uvm"} {
+		b.Run(sysName, func(b *testing.B) {
+			mach := vmapi.NewMachine(vmapi.MachineConfig{
+				RAMPages: 65536, SwapPages: 65536, FSPages: 1024, MaxVnodes: 16,
+			})
+			var sys vmapi.System
+			if sysName == "uvm" {
+				sys = uvm.Boot(mach)
+			} else {
+				sys = bsdvm.Boot(mach)
+			}
+			var procCtr atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				p, err := sys.NewProcess(fmt.Sprintf("bench%d", procCtr.Add(1)))
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer p.Exit()
+				const regionPages = 64
+				const length = regionPages * param.PageSize
+				va, err := p.Mmap(0, length, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				pg := 0
+				for pb.Next() {
+					if err := p.Access(va+param.VAddr(pg)*param.PageSize, true); err != nil {
+						b.Error(err)
+						return
+					}
+					pg++
+					if pg == regionPages {
+						if err := p.Munmap(va, length); err != nil {
+							b.Error(err)
+							return
+						}
+						va, err = p.Mmap(0, length, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						pg = 0
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkParallelLoanout measures concurrent page loanout + return:
+// each goroutine's process repeatedly loans its (resident) region to the
+// kernel and returns it. UVM-only — loanout is a UVM mechanism (§7).
+func BenchmarkParallelLoanout(b *testing.B) {
+	mach := vmapi.NewMachine(vmapi.MachineConfig{
+		RAMPages: 32768, SwapPages: 32768, FSPages: 1024, MaxVnodes: 16,
+	})
+	sys := uvm.Boot(mach)
+	var procCtr atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		pi, err := sys.NewProcess(fmt.Sprintf("loaner%d", procCtr.Add(1)))
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		p := pi.(*uvm.Process)
+		defer p.Exit()
+		const loanPages = 8
+		va, err := p.Mmap(0, loanPages*param.PageSize, param.ProtRW,
+			vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		if err := p.TouchRange(va, loanPages*param.PageSize, true); err != nil {
+			b.Error(err)
+			return
+		}
+		for pb.Next() {
+			loan, err := p.Loanout(va, loanPages)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			p.LoanReturn(loan)
+		}
+	})
 }
 
 // --- Ablations ---

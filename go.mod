@@ -1,0 +1,3 @@
+module uvm
+
+go 1.24

@@ -84,7 +84,7 @@ func (s *System) fault(p *process, va param.VAddr, access param.Prot) error {
 			if err != nil {
 				return err
 			}
-			q.Dirty = true // anonymous content exists only in RAM now
+			q.Dirty.Store(true) // anonymous content exists only in RAM now
 			pg, foundObj = q, firstObj
 			break
 		}
@@ -96,7 +96,7 @@ func (s *System) fault(p *process, va param.VAddr, access param.Prot) error {
 	switch {
 	case foundObj == firstObj:
 		if write {
-			pg.Dirty = true
+			pg.Dirty.Store(true)
 		}
 	case write && e.cow:
 		// Copy the page up into the first object. BSD VM pays the page
@@ -107,7 +107,7 @@ func (s *System) fault(p *process, va param.VAddr, access param.Prot) error {
 			return err
 		}
 		s.mach.Mem.CopyData(np, pg)
-		np.Dirty = true
+		np.Dirty.Store(true)
 		pg, foundObj = np, firstObj
 		s.collapse(firstObj)
 	case e.cow:
@@ -115,7 +115,7 @@ func (s *System) fault(p *process, va param.VAddr, access param.Prot) error {
 		// later write faults again.
 		prot &^= param.ProtWrite
 	case write:
-		pg.Dirty = true
+		pg.Dirty.Store(true)
 	}
 
 	// Mach-style re-validation: before mapping the page the fault code
@@ -126,9 +126,9 @@ func (s *System) fault(p *process, va param.VAddr, access param.Prot) error {
 		return vmapi.ErrFault
 	}
 
-	pg.Referenced = true
+	pg.Referenced.Store(true)
 	p.pm.Enter(param.Trunc(va), pg, prot, e.wired > 0)
-	if pg.WireCount == 0 {
+	if pg.WireCount.Load() == 0 {
 		s.mach.Mem.Activate(pg)
 	}
 	return nil

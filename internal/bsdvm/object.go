@@ -158,9 +158,9 @@ func (s *System) flushDirty(o *object) {
 		return
 	}
 	for idx, pg := range o.pages {
-		if pg.Dirty {
+		if pg.Dirty.Load() {
 			_ = o.vnode.WritePageAsync(idx, pg.Data)
-			pg.Dirty = false
+			pg.Dirty.Store(false)
 		}
 	}
 }
@@ -170,8 +170,8 @@ func (s *System) freeObjectPage(o *object, idx int, pg *phys.Page) {
 	s.mach.MMU.PageProtect(pg, param.ProtNone)
 	delete(o.pages, idx)
 	s.mach.Mem.Dequeue(pg)
-	if pg.WireCount > 0 {
-		pg.WireCount = 0 // teardown of wired placeholder pages
+	if pg.WireCount.Load() > 0 {
+		pg.WireCount.Store(0) // teardown of wired placeholder pages
 	}
 	s.mach.Mem.Free(pg)
 }
@@ -224,8 +224,7 @@ func (s *System) collapse(o *object) {
 				top := idx - o.shadowOff
 				if top >= 0 && top < o.sizePg && o.pages[top] == nil && !o.hasSwap(top) {
 					delete(sh.pages, idx)
-					pg.Owner = o
-					pg.Off = param.PageToOff(top)
+					pg.SetOwner(o, param.PageToOff(top))
 					o.pages[top] = pg
 				} else {
 					s.freeObjectPage(sh, idx, pg)

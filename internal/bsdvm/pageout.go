@@ -21,17 +21,17 @@ func (s *System) reclaim(target int) error {
 			if freed >= target {
 				return false
 			}
-			o, ok := pg.Owner.(*object)
+			o, ok := pg.Owner().(*object)
 			if !ok {
 				return true
 			}
-			if pg.Referenced {
+			if pg.Referenced.Load() {
 				s.mach.Mem.Activate(pg)
 				return true
 			}
 			// Pull the page out of every address space before touching it.
 			s.mach.MMU.PageProtect(pg, param.ProtNone)
-			if pg.Dirty {
+			if pg.Dirty.Load() {
 				if err := s.pageout(o, pg); err != nil {
 					// Could not clean (e.g. out of swap): put it back and
 					// keep scanning.
@@ -39,7 +39,7 @@ func (s *System) reclaim(target int) error {
 					return true
 				}
 			}
-			delete(o.pages, param.OffToPage(pg.Off))
+			delete(o.pages, param.OffToPage(pg.Off()))
 			s.mach.Mem.Dequeue(pg)
 			s.mach.Mem.Free(pg)
 			freed++

@@ -146,20 +146,20 @@ func (s *System) pagein(o *object, idx int) (*phys.Page, error) {
 	if err != nil {
 		return nil, err
 	}
-	pg.Busy = true
+	pg.Busy.Store(true)
 	if o.pager.vn != nil {
 		err = o.pager.vn.ReadPage(idx, pg.Data)
 	} else {
 		slot := o.pager.swp.slots[idx]
 		err = s.mach.Swap.ReadSlot(slot, pg.Data)
 	}
-	pg.Busy = false
+	pg.Busy.Store(false)
 	if err != nil {
 		delete(o.pages, idx)
 		s.mach.Mem.Free(pg)
 		return nil, err
 	}
-	pg.Dirty = o.anon // anon data only lives on swap until written back again
+	pg.Dirty.Store(o.anon) // anon data only lives on swap until written back again
 	s.mach.Stats.Inc(sim.CtrPageIns)
 	return pg, nil
 }
@@ -167,9 +167,9 @@ func (s *System) pagein(o *object, idx int) (*phys.Page, error) {
 // pageout writes one dirty page to backing store — one page, one I/O
 // (§1.1: "I/O operations in BSD VM are performed one page at a time").
 func (s *System) pageout(o *object, pg *phys.Page) error {
-	idx := param.OffToPage(pg.Off)
-	pg.Busy = true
-	defer func() { pg.Busy = false }()
+	idx := param.OffToPage(pg.Off())
+	pg.Busy.Store(true)
+	defer func() { pg.Busy.Store(false) }()
 	if o.vnode != nil && !o.anon {
 		if err := o.vnode.WritePage(idx, pg.Data); err != nil {
 			return err
@@ -184,7 +184,7 @@ func (s *System) pageout(o *object, pg *phys.Page) error {
 			return err
 		}
 	}
-	pg.Dirty = false
+	pg.Dirty.Store(false)
 	s.mach.Stats.Inc(sim.CtrPageOuts)
 	return nil
 }

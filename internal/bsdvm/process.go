@@ -316,13 +316,13 @@ func (p *process) Msync(addr param.VAddr, length param.VSize) error {
 		}
 		loIdx, hiIdx := cur.pageIndex(lo), cur.pageIndex(hi-1)
 		for idx, pg := range cur.obj.pages {
-			if idx < loIdx || idx > hiIdx || !pg.Dirty {
+			if idx < loIdx || idx > hiIdx || !pg.Dirty.Load() {
 				continue
 			}
 			if err := cur.obj.vnode.WritePage(idx, pg.Data); err != nil {
 				return err
 			}
-			pg.Dirty = false
+			pg.Dirty.Store(false)
 		}
 	}
 	return nil
@@ -352,7 +352,7 @@ func (p *process) wireRange(addr, end param.VAddr) error {
 		}
 		pte, _ := p.pm.Lookup(va)
 		if pte.Page != nil {
-			pte.Page.WireCount++
+			pte.Page.WireCount.Add(1)
 			p.sys.mach.Mem.Dequeue(pte.Page)
 		}
 		p.pm.ChangeWiring(va, true)
@@ -372,9 +372,9 @@ func (p *process) unwireRange(addr, end param.VAddr) {
 	}
 	m.unlock()
 	for va := addr; va < end; va += param.PageSize {
-		if pte, ok := p.pm.Lookup(va); ok && pte.Page != nil && pte.Page.WireCount > 0 {
-			pte.Page.WireCount--
-			if pte.Page.WireCount == 0 {
+		if pte, ok := p.pm.Lookup(va); ok && pte.Page != nil && pte.Page.WireCount.Load() > 0 {
+			pte.Page.WireCount.Add(-1)
+			if pte.Page.WireCount.Load() == 0 {
 				p.sys.mach.Mem.Activate(pte.Page)
 			}
 		}
@@ -574,9 +574,9 @@ func (p *process) Access(addr param.VAddr, write bool) error {
 	defer s.big.Unlock()
 	if pte, ok := p.pm.Extract(addr); ok && pte.Prot.Allows(access) {
 		s.mach.Clock.Advance(s.mach.Costs.PageTouch)
-		pte.Page.Referenced = true
+		pte.Page.Referenced.Store(true)
 		if write {
-			pte.Page.Dirty = true
+			pte.Page.Dirty.Store(true)
 		}
 		return nil
 	}

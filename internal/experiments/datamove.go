@@ -68,7 +68,7 @@ func DataMovement(sizes []int) ([]DMRow, error) {
 		}
 		copyCost := clock.Since(t0)
 		for _, pg := range kpages { // driver frees the mbufs after transmit
-			pg.WireCount = 0
+			pg.WireCount.Store(0)
 			mach.Mem.Free(pg)
 		}
 

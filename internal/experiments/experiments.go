@@ -73,6 +73,9 @@ func All(quick bool) []Runner {
 			return ReportDataMovement(w)
 		}},
 		{"rc", "§8: /etc/rc-style script time", func(w io.Writer) error { return ReportRC(w) }},
+		{"scaling", "Scaling: parallel fault throughput (beyond the paper)", func(w io.Writer) error {
+			return ReportScaling(w, []NamedBooter{{"bsdvm", bsdvm.Boot}, {"uvm", uvm.Boot}})
+		}},
 	}
 }
 

@@ -6,12 +6,30 @@
 // buffer. Copy-on-write, page loanout, swap round-trips and file I/O are
 // all verified against actual bytes by the test suites of the higher
 // layers.
+//
+// Concurrency: the queues are sharded — each frame has a home shard
+// (by frame number) holding its free/active/inactive list membership
+// under a per-shard mutex, so page allocation and LRU queue traffic from
+// independent faulting goroutines does not serialise on one lock. A
+// global monotonic sequence number is stamped on every queue insertion,
+// and the pagedaemon entry points (ScanInactive, RefillInactive) merge
+// the shards in sequence order — the observable LRU order is therefore
+// identical to a single global queue, which keeps single-threaded
+// simulations deterministic and bit-for-bit comparable across runs.
+//
+// Page state bits (Dirty, Referenced, Busy, WireCount, LoanCount) are
+// atomics: they are read lock-free by queue scans while being written
+// under the owning VM structure's lock. Page *identity* (Owner, Off) is
+// guarded by a small per-page mutex so the pagedaemon can safely chase a
+// page's owner while loan-break and teardown paths re-home or orphan the
+// frame.
 package phys
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"uvm/internal/param"
 	"uvm/internal/sim"
@@ -32,41 +50,93 @@ const (
 	QueueWired // not a real queue: wired pages are off all queues
 )
 
+// numShards is the page-queue shard count. A small power of two: enough
+// to spread queue traffic from concurrently faulting goroutines, few
+// enough that merge scans stay cheap.
+const numShards = 16
+
 // Page is one physical page frame (a vm_page structure).
 type Page struct {
 	PA   param.PAddr
 	Data []byte // always param.PageSize bytes
 
 	// Identity: which higher-level entity owns this frame. Exactly one of
-	// these is meaningful for an allocated page; both are nil for a free
+	// these is meaningful for an allocated page; both are zero for a free
 	// page. The concrete types belong to the VM system that allocated the
-	// page (a memory object or an anon).
-	Owner any
-	Off   param.PageOff // page-aligned offset within Owner
+	// page (a memory object or an anon). Guarded by mu, because loan
+	// orphaning and loan-break change a page's owner while other paths
+	// (the pagedaemon, loan teardown) are inspecting it.
+	mu    sync.Mutex
+	owner any
+	off   param.PageOff
 
 	// State bits maintained by the VM systems and the pmap layer.
-	Dirty      bool
-	Referenced bool
-	Busy       bool // page is being paged in/out
-	WireCount  int
-	LoanCount  int // UVM page loanout: >0 means read-only shared loan
+	// Atomics: written under the owning structure's lock, read lock-free
+	// by queue scans and assertions.
+	Dirty      atomic.Bool
+	Referenced atomic.Bool
+	Busy       atomic.Bool // page is being paged in/out
+	WireCount  atomic.Int32
+	LoanCount  atomic.Int32 // UVM page loanout: >0 means read-only shared loan
 
+	home       uint8  // queue shard this frame always lives in
+	seq        uint64 // global LRU stamp of the last queue insertion
 	queue      QueueKind
 	prev, next *Page
 }
 
+// Owner returns the structure that currently owns this frame (nil for a
+// free or orphaned frame).
+func (p *Page) Owner() any {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.owner
+}
+
+// Off returns the page-aligned offset of this frame within its owner.
+func (p *Page) Off() param.PageOff {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.off
+}
+
+// SetOwner re-homes the frame to a new owner (or orphans it with nil).
+func (p *Page) SetOwner(owner any, off param.PageOff) {
+	p.mu.Lock()
+	p.owner = owner
+	p.off = off
+	p.mu.Unlock()
+}
+
+// WithIdentity runs fn with the page identity lock held, passing the
+// current owner. fn may call SetOwnerLocked-style updates via the
+// returned owner reference only; it must not take other page locks.
+// This is the primitive behind race-free loan teardown: "drop my loan
+// and free the frame if the owner has also gone" must be one atomic
+// decision.
+func (p *Page) WithIdentity(fn func(owner any)) {
+	p.mu.Lock()
+	fn(p.owner)
+	p.mu.Unlock()
+}
+
+// Orphan clears the owner. It must only be called from within a
+// WithIdentity callback (which holds the identity lock); the borrowers
+// of a loaned frame keep the data alive until the last loan drops.
+func (p *Page) Orphan() { p.owner = nil }
+
 // Wired reports whether the page is wired (must stay resident).
-func (p *Page) Wired() bool { return p.WireCount > 0 }
+func (p *Page) Wired() bool { return p.WireCount.Load() > 0 }
 
 // Loaned reports whether the page is currently loaned out.
-func (p *Page) Loaned() bool { return p.LoanCount > 0 }
+func (p *Page) Loaned() bool { return p.LoanCount.Load() > 0 }
 
 // Queue returns the queue the page is currently on.
 func (p *Page) Queue() QueueKind { return p.queue }
 
 func (p *Page) String() string {
 	return fmt.Sprintf("page(pa=%#x owner=%T off=%#x q=%d wire=%d loan=%d dirty=%v)",
-		p.PA, p.Owner, p.Off, p.queue, p.WireCount, p.LoanCount, p.Dirty)
+		p.PA, p.Owner(), p.Off(), p.queue, p.WireCount.Load(), p.LoanCount.Load(), p.Dirty.Load())
 }
 
 // pageList is an intrusive doubly-linked list of pages.
@@ -109,18 +179,28 @@ func (l *pageList) popHead() *Page {
 	return p
 }
 
+// memShard is one slice of the page queues: every frame belongs to
+// exactly one shard, and all of that frame's queue membership is
+// guarded by the shard's mutex.
+type memShard struct {
+	mu       sync.Mutex
+	free     pageList
+	active   pageList
+	inactive pageList
+}
+
 // Mem is the physical memory of the simulated machine.
 type Mem struct {
 	clock *sim.Clock
 	costs *sim.Costs
 	stats *sim.Stats
 
-	mu       sync.Mutex
-	total    int
-	frames   []Page
-	free     pageList
-	active   pageList
-	inactive pageList
+	total  int
+	frames []Page
+	shards [numShards]memShard
+
+	seqCtr      atomic.Uint64 // global LRU stamp source
+	allocCursor atomic.Uint64 // round-robin shard hint for Alloc
 }
 
 // NewMem boots a machine with npages page frames. All frame data buffers
@@ -136,78 +216,106 @@ func NewMem(clock *sim.Clock, costs *sim.Costs, stats *sim.Stats, npages int) *M
 		p := &m.frames[i]
 		p.PA = param.PAddr(i) << param.PageShift
 		p.Data = arena[i*param.PageSize : (i+1)*param.PageSize : (i+1)*param.PageSize]
+		p.home = uint8(i % numShards)
 		p.queue = QueueFree
-		m.free.pushTail(p)
+		m.shards[p.home].free.pushTail(p)
 	}
 	return m
 }
+
+func (m *Mem) shardOf(p *Page) *memShard { return &m.shards[p.home] }
 
 // TotalPages returns the amount of physical memory in pages.
 func (m *Mem) TotalPages() int { return m.total }
 
 // FreePages returns the current size of the free list.
 func (m *Mem) FreePages() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.free.n
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		n += sh.free.n
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // ActivePages and InactivePages return the queue depths.
 func (m *Mem) ActivePages() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.active.n
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		n += sh.active.n
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 func (m *Mem) InactivePages() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.inactive.n
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		n += sh.inactive.n
+		sh.mu.Unlock()
+	}
+	return n
 }
 
-// Alloc takes a frame off the free list. If zero is set the frame is
+// Alloc takes a frame off a free list. If zero is set the frame is
 // zero-filled (and the zeroing cost charged); otherwise its previous
-// contents are undefined, exactly like a real free-list page.
+// contents are undefined, exactly like a real free-list page. Allocation
+// rotates across shards so concurrent allocators rarely contend; a shard
+// whose free list is empty falls through to the next.
 func (m *Mem) Alloc(owner any, off param.PageOff, zero bool) (*Page, error) {
-	m.mu.Lock()
-	p := m.free.popHead()
-	m.mu.Unlock()
+	start := int(m.allocCursor.Add(1) - 1)
+	var p *Page
+	for i := 0; i < numShards; i++ {
+		sh := &m.shards[(start+i)%numShards]
+		sh.mu.Lock()
+		p = sh.free.popHead()
+		if p != nil {
+			p.queue = QueueNone
+			sh.mu.Unlock()
+			break
+		}
+		sh.mu.Unlock()
+	}
 	if p == nil {
 		return nil, ErrNoMemory
 	}
 	m.clock.Advance(m.costs.PageAlloc)
-	p.queue = QueueNone
-	p.Owner = owner
-	p.Off = off
-	p.Dirty = false
-	p.Referenced = false
-	p.Busy = false
-	p.WireCount = 0
-	p.LoanCount = 0
+	p.SetOwner(owner, off)
+	p.Dirty.Store(false)
+	p.Referenced.Store(false)
+	p.Busy.Store(false)
+	p.WireCount.Store(0)
+	p.LoanCount.Store(0)
 	if zero {
 		m.Zero(p)
 	}
 	return p, nil
 }
 
-// Free returns a frame to the free list. The caller must have removed all
-// mappings and queue membership is cleared here.
+// Free returns a frame to its home free list. The caller must have
+// removed all mappings; queue membership is cleared here.
 func (m *Mem) Free(p *Page) {
-	if p.WireCount > 0 {
+	if p.WireCount.Load() > 0 {
 		panic("phys: freeing wired page " + p.String())
 	}
-	if p.LoanCount > 0 {
+	if p.LoanCount.Load() > 0 {
 		panic("phys: freeing loaned page " + p.String())
 	}
 	m.clock.Advance(m.costs.PageFree)
-	m.mu.Lock()
-	m.detachLocked(p)
-	p.Owner = nil
-	p.Off = 0
-	p.Dirty = false
+	p.SetOwner(nil, 0)
+	p.Dirty.Store(false)
+	sh := m.shardOf(p)
+	sh.mu.Lock()
+	sh.detachLocked(p)
 	p.queue = QueueFree
-	m.free.pushTail(p)
-	m.mu.Unlock()
+	sh.free.pushTail(p)
+	sh.mu.Unlock()
 }
 
 // Zero clears a frame's data, charging the zeroing cost.
@@ -228,94 +336,173 @@ func (m *Mem) CopyData(dst, src *Page) {
 
 // Activate puts the page on the active queue (most recently used end).
 func (m *Mem) Activate(p *Page) {
-	m.mu.Lock()
-	m.detachLocked(p)
+	seq := m.seqCtr.Add(1)
+	sh := m.shardOf(p)
+	sh.mu.Lock()
+	sh.detachLocked(p)
 	p.queue = QueueActive
-	m.active.pushTail(p)
-	m.mu.Unlock()
+	p.seq = seq
+	sh.active.pushTail(p)
+	sh.mu.Unlock()
+}
+
+// ActivateIfInactive gives a page a second chance — but only if it is
+// still on the inactive queue. The pagedaemon works from a lock-free
+// snapshot; by the time it decides a page deserves reactivation the
+// frame may have been freed (or reallocated and even wired) by its
+// owner, and blindly activating it would pull a free frame off the free
+// list forever. Reports whether the page was moved.
+func (m *Mem) ActivateIfInactive(p *Page) bool {
+	seq := m.seqCtr.Add(1)
+	sh := m.shardOf(p)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if p.queue != QueueInactive {
+		return false
+	}
+	sh.inactive.remove(p)
+	p.queue = QueueActive
+	p.seq = seq
+	sh.active.pushTail(p)
+	return true
 }
 
 // Deactivate moves the page to the inactive queue, making it a pageout
 // candidate.
 func (m *Mem) Deactivate(p *Page) {
-	m.mu.Lock()
-	m.detachLocked(p)
+	seq := m.seqCtr.Add(1)
+	sh := m.shardOf(p)
+	sh.mu.Lock()
+	sh.detachLocked(p)
 	p.queue = QueueInactive
-	m.inactive.pushTail(p)
-	m.mu.Unlock()
+	p.seq = seq
+	sh.inactive.pushTail(p)
+	sh.mu.Unlock()
 }
 
 // Dequeue removes the page from whatever paging queue it is on (used when
 // wiring a page or starting pageout on it).
 func (m *Mem) Dequeue(p *Page) {
-	m.mu.Lock()
-	m.detachLocked(p)
-	p.queue = QueueNone
-	m.mu.Unlock()
+	sh := m.shardOf(p)
+	sh.mu.Lock()
+	sh.detachLocked(p)
+	sh.mu.Unlock()
 }
 
-func (m *Mem) detachLocked(p *Page) {
+func (sh *memShard) detachLocked(p *Page) {
 	switch p.queue {
 	case QueueFree:
-		m.free.remove(p)
+		sh.free.remove(p)
 	case QueueActive:
-		m.active.remove(p)
+		sh.active.remove(p)
 	case QueueInactive:
-		m.inactive.remove(p)
+		sh.inactive.remove(p)
 	}
 	p.queue = QueueNone
 }
 
-// ScanInactive calls fn on up to max pages from the head (least recently
-// used end) of the inactive queue. fn runs without the memory lock held so
-// it may call back into Mem; the scan snapshots candidates first, skipping
-// busy, wired and loaned pages. This is the pagedaemon's entry point.
+// ScanInactive calls fn on up to max pages in global LRU order from the
+// inactive queue. fn runs without any queue lock held so it may call back
+// into Mem; the scan snapshots candidates first, skipping busy, wired and
+// loaned pages. This is the pagedaemon's entry point. The shards are
+// merged by sequence stamp, so the visit order matches what a single
+// global inactive queue would produce.
 func (m *Mem) ScanInactive(max int, fn func(*Page) bool) {
-	m.mu.Lock()
-	var cand []*Page
-	for p := m.inactive.head; p != nil && len(cand) < max; p = p.next {
-		if p.Busy || p.WireCount > 0 || p.LoanCount > 0 {
-			continue
-		}
-		cand = append(cand, p)
+	// The LRU stamp is copied out while the shard lock is held: p.seq is
+	// re-stamped (under other shard locks) whenever a page moves queues,
+	// so the sort below must not touch the live field.
+	type candidate struct {
+		p   *Page
+		seq uint64
 	}
-	m.mu.Unlock()
-	for _, p := range cand {
-		if !fn(p) {
+	var cand []candidate
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		cnt := 0
+		for p := sh.inactive.head; p != nil && cnt < max; p = p.next {
+			if p.Busy.Load() || p.WireCount.Load() > 0 || p.LoanCount.Load() > 0 {
+				continue
+			}
+			cand = append(cand, candidate{p, p.seq})
+			cnt++
+		}
+		sh.mu.Unlock()
+	}
+	// Merge to global LRU order (insertion sort: candidate sets are
+	// small and mostly sorted per shard); keep the first max.
+	for i := 1; i < len(cand); i++ {
+		c := cand[i]
+		j := i - 1
+		for j >= 0 && cand[j].seq > c.seq {
+			cand[j+1] = cand[j]
+			j--
+		}
+		cand[j+1] = c
+	}
+	if len(cand) > max {
+		cand = cand[:max]
+	}
+	for _, c := range cand {
+		if !fn(c.p) {
 			return
 		}
 	}
 }
 
-// RefillInactive moves up to n pages from the head of the active queue to
-// the inactive queue (the clock-hand "page aging" step both pagedaemons
-// perform when the inactive queue runs short). Referenced pages get a
-// second chance: their reference bit is cleared and they return to the
-// active tail.
+// RefillInactive moves up to n pages from the global LRU head of the
+// active queue to the inactive queue (the clock-hand "page aging" step
+// both pagedaemons perform when the inactive queue runs short).
+// Referenced pages get a second chance: their reference bit is cleared
+// and they return to the active tail. All shards are locked for the
+// duration so the merge sees a consistent ordering.
 func (m *Mem) RefillInactive(n int) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	for i := range m.shards {
+		m.shards[i].mu.Lock()
+	}
+	defer func() {
+		for i := range m.shards {
+			m.shards[i].mu.Unlock()
+		}
+	}()
+
+	limit := 0
+	for i := range m.shards {
+		limit += m.shards[i].active.n
+	}
 	moved := 0
 	scanned := 0
-	limit := m.active.n
 	for moved < n && scanned < limit {
-		p := m.active.popHead()
-		if p == nil {
+		// Pop the globally least recently used active page.
+		var sh *memShard
+		for i := range m.shards {
+			c := &m.shards[i]
+			if c.active.head == nil {
+				continue
+			}
+			if sh == nil || c.active.head.seq < sh.active.head.seq {
+				sh = c
+			}
+		}
+		if sh == nil {
 			break
 		}
+		p := sh.active.popHead()
 		scanned++
-		if p.WireCount > 0 {
+		if p.WireCount.Load() > 0 {
 			p.queue = QueueNone
 			continue
 		}
-		if p.Referenced {
-			p.Referenced = false
+		if p.Referenced.Load() {
+			p.Referenced.Store(false)
 			p.queue = QueueActive
-			m.active.pushTail(p)
+			p.seq = m.seqCtr.Add(1)
+			sh.active.pushTail(p)
 			continue
 		}
 		p.queue = QueueInactive
-		m.inactive.pushTail(p)
+		p.seq = m.seqCtr.Add(1)
+		sh.inactive.pushTail(p)
 		moved++
 	}
 	return moved

@@ -2,6 +2,7 @@ package phys
 
 import (
 	"errors"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -28,7 +29,7 @@ func TestAllocFreeCycle(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if p.Owner != "owner" || p.Off != param.PageToOff(i) {
+		if p.Owner() != "owner" || p.Off() != param.PageToOff(i) {
 			t.Fatalf("identity not set: %v", p)
 		}
 		pages = append(pages, p)
@@ -71,7 +72,7 @@ func TestDirtyFreeListReuse(t *testing.T) {
 	p.Data[0] = 0x77
 	m.Free(p)
 	q, _ := m.Alloc(nil, 0, false)
-	if q.Owner != nil {
+	if q.Owner() != nil {
 		t.Fatal("owner survived free")
 	}
 }
@@ -122,10 +123,10 @@ func TestQueueTransitions(t *testing.T) {
 func TestFreePanicsOnWiredOrLoaned(t *testing.T) {
 	m := newTestMem(2)
 	p, _ := m.Alloc(nil, 0, false)
-	p.WireCount = 1
+	p.WireCount.Store(1)
 	mustPanic(t, func() { m.Free(p) })
-	p.WireCount = 0
-	p.LoanCount = 1
+	p.WireCount.Store(0)
+	p.LoanCount.Store(1)
 	mustPanic(t, func() { m.Free(p) })
 }
 
@@ -147,9 +148,9 @@ func TestScanInactiveOrderAndSkips(t *testing.T) {
 		m.Deactivate(p)
 		order = append(order, p)
 	}
-	order[1].Busy = true
-	order[2].WireCount = 1
-	order[3].LoanCount = 1
+	order[1].Busy.Store(true)
+	order[2].WireCount.Store(1)
+	order[3].LoanCount.Store(1)
 
 	var scanned []*Page
 	m.ScanInactive(10, func(p *Page) bool {
@@ -171,7 +172,7 @@ func TestScanInactiveOrderAndSkips(t *testing.T) {
 func TestRefillInactiveSecondChance(t *testing.T) {
 	m := newTestMem(8)
 	ref, _ := m.Alloc(nil, 0, false)
-	ref.Referenced = true
+	ref.Referenced.Store(true)
 	m.Activate(ref)
 	old, _ := m.Alloc(nil, param.PageSize, false)
 	m.Activate(old)
@@ -183,7 +184,7 @@ func TestRefillInactiveSecondChance(t *testing.T) {
 	if old.Queue() != QueueInactive {
 		t.Fatal("unreferenced page should have moved")
 	}
-	if ref.Queue() != QueueActive || ref.Referenced {
+	if ref.Queue() != QueueActive || ref.Referenced.Load() {
 		t.Fatal("referenced page should stay active with bit cleared")
 	}
 	// Second pass: the reference bit was cleared, so it moves now.
@@ -195,7 +196,7 @@ func TestRefillInactiveSecondChance(t *testing.T) {
 func TestRefillSkipsWired(t *testing.T) {
 	m := newTestMem(4)
 	p, _ := m.Alloc(nil, 0, false)
-	p.WireCount = 1
+	p.WireCount.Store(1)
 	m.Activate(p)
 	if got := m.RefillInactive(1); got != 0 {
 		t.Fatalf("wired page moved to inactive: %d", got)
@@ -244,6 +245,108 @@ func TestQueueCountInvariant(t *testing.T) {
 			t.Fatalf("step %d: page accounting broken: %d != %d",
 				step, sum, m.TotalPages())
 		}
+	}
+}
+
+func TestShardedLRUOrderMatchesGlobal(t *testing.T) {
+	// The queues are sharded, but ScanInactive and RefillInactive must
+	// visit pages in the same global LRU order a single queue would
+	// produce: deactivation order, regardless of which shard each frame
+	// landed in.
+	m := newTestMem(64)
+	var order []*Page
+	for i := 0; i < 40; i++ {
+		p, err := m.Alloc(nil, param.PageToOff(i), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Deactivate(p)
+		order = append(order, p)
+	}
+	var scanned []*Page
+	m.ScanInactive(40, func(p *Page) bool {
+		scanned = append(scanned, p)
+		return true
+	})
+	if len(scanned) != 40 {
+		t.Fatalf("scanned %d, want 40", len(scanned))
+	}
+	for i, p := range scanned {
+		if p != order[i] {
+			t.Fatalf("scan order diverged from deactivation order at %d", i)
+		}
+	}
+
+	// Refill pops the *active* queue in the same global order.
+	m2 := newTestMem(64)
+	var activeOrder []*Page
+	for i := 0; i < 20; i++ {
+		p, _ := m2.Alloc(nil, param.PageToOff(i), false)
+		m2.Activate(p)
+		activeOrder = append(activeOrder, p)
+	}
+	m2.RefillInactive(20)
+	var afterRefill []*Page
+	m2.ScanInactive(20, func(p *Page) bool {
+		afterRefill = append(afterRefill, p)
+		return true
+	})
+	for i, p := range afterRefill {
+		if p != activeOrder[i] {
+			t.Fatalf("refill order diverged from activation order at %d", i)
+		}
+	}
+}
+
+func TestConcurrentQueueTraffic(t *testing.T) {
+	// Hammer the sharded queues from many goroutines: allocation, queue
+	// transitions and frees on disjoint page sets must not race (-race)
+	// and the global accounting must balance at the end.
+	m := newTestMem(256)
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := sim.NewRNG(uint64(w) + 99)
+			var live []*Page
+			for step := 0; step < 500; step++ {
+				switch rng.Intn(4) {
+				case 0:
+					if p, err := m.Alloc(w, 0, false); err == nil {
+						live = append(live, p)
+					}
+				case 1:
+					if len(live) > 0 {
+						i := rng.Intn(len(live))
+						p := live[i]
+						live = append(live[:i], live[i+1:]...)
+						m.Dequeue(p)
+						m.Free(p)
+					}
+				case 2:
+					if len(live) > 0 {
+						m.Activate(live[rng.Intn(len(live))])
+					}
+				case 3:
+					if len(live) > 0 {
+						m.Deactivate(live[rng.Intn(len(live))])
+					}
+				}
+			}
+			for _, p := range live {
+				m.Dequeue(p)
+				m.Free(p)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.FreePages() != m.TotalPages() {
+		t.Fatalf("leaked frames: free %d != total %d", m.FreePages(), m.TotalPages())
+	}
+	if m.ActivePages() != 0 || m.InactivePages() != 0 {
+		t.Fatalf("queues not empty: active %d inactive %d", m.ActivePages(), m.InactivePages())
 	}
 }
 

@@ -310,7 +310,5 @@ func (m *MMU) PageMappings(pg *phys.Page) int {
 // PageReferenced gathers and clears the simulated reference bit for pg.
 // (On real hardware this scans PTE reference bits via the pv list.)
 func (m *MMU) PageReferenced(pg *phys.Page) bool {
-	ref := pg.Referenced
-	pg.Referenced = false
-	return ref
+	return pg.Referenced.Swap(false)
 }

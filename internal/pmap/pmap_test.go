@@ -257,7 +257,7 @@ func TestSharedPageAcrossSpaces(t *testing.T) {
 func TestPageReferenced(t *testing.T) {
 	f := newFixture(2)
 	pg := f.page(t)
-	pg.Referenced = true
+	pg.Referenced.Store(true)
 	if !f.mmu.PageReferenced(pg) {
 		t.Fatal("reference bit not seen")
 	}

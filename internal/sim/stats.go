@@ -5,26 +5,39 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Stats is a set of named monotonic counters. Every subsystem records its
 // activity here (faults taken, pages copied, disk operations issued, map
 // entries allocated, ...) so experiments can report raw operation counts
-// alongside simulated times. Safe for concurrent use.
+// alongside simulated times.
+//
+// Counters are lock-free: each name maps to an atomically updated cell,
+// so hot paths (the fault handler, the page allocator) can bump counters
+// from many goroutines without serialising on a shared mutex. This is
+// load-bearing for the fine-grained-locking fault path — a Stats mutex
+// would reintroduce a global serialisation point.
 type Stats struct {
-	mu sync.Mutex
-	m  map[string]int64
+	m sync.Map // string -> *int64, updated with atomics
 }
 
 // NewStats returns an empty counter set.
-func NewStats() *Stats { return &Stats{m: make(map[string]int64)} }
+func NewStats() *Stats { return &Stats{} }
+
+// cell returns the counter cell for name, creating it on first use.
+func (s *Stats) cell(name string) *int64 {
+	if v, ok := s.m.Load(name); ok {
+		return v.(*int64)
+	}
+	v, _ := s.m.LoadOrStore(name, new(int64))
+	return v.(*int64)
+}
 
 // Add increments counter name by delta (delta may be negative for
 // level-style gauges such as "current map entries").
 func (s *Stats) Add(name string, delta int64) {
-	s.mu.Lock()
-	s.m[name] += delta
-	s.mu.Unlock()
+	atomic.AddInt64(s.cell(name), delta)
 }
 
 // Inc increments counter name by one.
@@ -32,37 +45,52 @@ func (s *Stats) Inc(name string) { s.Add(name, 1) }
 
 // Get returns the current value of the counter (zero if never touched).
 func (s *Stats) Get(name string) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.m[name]
+	if v, ok := s.m.Load(name); ok {
+		return atomic.LoadInt64(v.(*int64))
+	}
+	return 0
 }
 
 // Max raises counter name to v if v is greater than the current value.
 // Used for high-water marks.
 func (s *Stats) Max(name string, v int64) {
-	s.mu.Lock()
-	if v > s.m[name] {
-		s.m[name] = v
+	cv, ok := s.m.Load(name)
+	if !ok {
+		if v <= 0 {
+			return // match map semantics: no key is created for a no-op Max
+		}
+		cv, _ = s.m.LoadOrStore(name, new(int64))
 	}
-	s.mu.Unlock()
+	c := cv.(*int64)
+	for {
+		cur := atomic.LoadInt64(c)
+		if v <= cur {
+			return
+		}
+		if atomic.CompareAndSwapInt64(c, cur, v) {
+			return
+		}
+	}
 }
 
 // Snapshot returns a copy of all counters.
 func (s *Stats) Snapshot() map[string]int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[string]int64, len(s.m))
-	for k, v := range s.m {
-		out[k] = v
-	}
+	out := make(map[string]int64)
+	s.m.Range(func(k, v any) bool {
+		out[k.(string)] = atomic.LoadInt64(v.(*int64))
+		return true
+	})
 	return out
 }
 
-// Reset clears every counter.
+// Reset clears every counter. Counter cells handed out concurrently with
+// a Reset may apply their update to the old generation; Reset is meant
+// for test/experiment setup, not for use while workloads are running.
 func (s *Stats) Reset() {
-	s.mu.Lock()
-	s.m = make(map[string]int64)
-	s.mu.Unlock()
+	s.m.Range(func(k, _ any) bool {
+		s.m.Delete(k)
+		return true
+	})
 }
 
 // String renders the counters sorted by name, one per line.

@@ -2,6 +2,7 @@ package uvm
 
 import (
 	"fmt"
+	"sync"
 
 	"uvm/internal/param"
 	"uvm/internal/phys"
@@ -14,7 +15,13 @@ import (
 //
 // An anon with a single reference is writable in place; an anon referenced
 // by more than one amap is copy-on-write.
+//
+// mu guards every field. It sits below the amap lock and above the page
+// identity lock in the package lock order; the fault path holds it from
+// resolution through pmap entry so the pagedaemon (which TryLocks it)
+// can never yank the page out from under a fault in progress.
 type anon struct {
+	mu     sync.Mutex
 	refs   int
 	page   *phys.Page
 	swslot int64
@@ -42,57 +49,86 @@ func (s *System) newAnon() *anon {
 }
 
 // anonRef adds a reference (a new amap slot pointing at the anon).
-func (s *System) anonRef(a *anon) { a.refs++ }
+func (s *System) anonRef(a *anon) {
+	a.mu.Lock()
+	a.refs++
+	a.mu.Unlock()
+}
 
 // anonUnref drops one reference; the last drop frees the page and swap
 // slot. This reference counting is what makes the collapse operation —
 // and the swap leak it fights — unnecessary in UVM (§5.3).
 func (s *System) anonUnref(a *anon) {
+	a.mu.Lock()
 	if a.refs <= 0 {
 		panic("uvm: anon refcount underflow")
 	}
 	a.refs--
 	if a.refs > 0 {
+		a.mu.Unlock()
 		return
 	}
-	if pg := a.page; pg != nil {
-		a.page = nil
-		switch {
-		case a.loaned:
-			// This anon merely borrowed the page: drop the loan; free the
-			// frame only if the true owner is already gone and we were
-			// the last borrower.
-			pg.LoanCount--
-			if pg.LoanCount == 0 && pg.Owner == nil {
-				s.mach.MMU.PageProtect(pg, param.ProtNone)
-				s.mach.Mem.Dequeue(pg)
-				s.mach.Mem.Free(pg)
-			}
-		case pg.LoanCount > 0:
-			// Dying owner of a loaned-out page: orphan the frame. The
-			// borrowers keep the data; the last of them frees it.
-			s.mach.MMU.PageProtect(pg, param.ProtNone)
-			s.mach.Mem.Dequeue(pg)
-			pg.Owner = nil
-		default:
-			s.mach.MMU.PageProtect(pg, param.ProtNone)
-			s.mach.Mem.Dequeue(pg)
-			if pg.WireCount > 0 {
-				pg.WireCount = 0
-			}
-			s.mach.Mem.Free(pg)
-		}
+	pg := a.page
+	a.page = nil
+	loanedView := a.loaned
+	slot := a.swslot
+	a.swslot = swap.NoSlot
+	a.mu.Unlock()
+
+	if pg != nil {
+		s.dropAnonPage(pg, loanedView)
 	}
-	if a.swslot != swap.NoSlot {
-		s.mach.Swap.Free(a.swslot)
-		a.swslot = swap.NoSlot
+	if slot != swap.NoSlot {
+		s.mach.Swap.Free(slot)
 	}
 	s.mach.Clock.Advance(s.mach.Costs.AnonFree)
 	s.mach.Stats.Add("uvm.anon.live", -1)
 }
 
-// anonPagein brings a swapped-out anon's data back into a fresh page.
-func (s *System) anonPagein(a *anon) error {
+// dropAnonPage releases a dying anon's hold on pg. The keep-or-free
+// decision races with concurrent loan returns, so it is made atomically
+// under the page identity lock.
+func (s *System) dropAnonPage(pg *phys.Page, loanedView bool) {
+	freeIt := false
+	pg.WithIdentity(func(owner any) {
+		switch {
+		case loanedView:
+			// This anon merely borrowed the page: drop the loan; free the
+			// frame only if the true owner is already gone and we were
+			// the last borrower.
+			if pg.LoanCount.Add(-1) == 0 && owner == nil {
+				freeIt = true
+			}
+		case pg.LoanCount.Load() > 0:
+			// Dying owner of a loaned-out page: orphan the frame. The
+			// borrowers keep the data; the last of them frees it. If the
+			// last loan was returned while we were deciding, the frame is
+			// already unreachable and we free it ourselves.
+			pg.Orphan()
+			s.mach.MMU.PageProtect(pg, param.ProtNone)
+			s.mach.Mem.Dequeue(pg)
+			if pg.LoanCount.Load() == 0 {
+				freeIt = true
+			}
+		default:
+			s.mach.MMU.PageProtect(pg, param.ProtNone)
+			s.mach.Mem.Dequeue(pg)
+			if pg.WireCount.Load() > 0 {
+				pg.WireCount.Store(0)
+			}
+			freeIt = true
+		}
+	})
+	if freeIt {
+		s.mach.MMU.PageProtect(pg, param.ProtNone)
+		s.mach.Mem.Dequeue(pg)
+		s.mach.Mem.Free(pg)
+	}
+}
+
+// anonPageinLocked brings a swapped-out anon's data back into a fresh
+// page. Caller holds a.mu.
+func (s *System) anonPageinLocked(a *anon) error {
 	if a.page != nil {
 		return nil
 	}
@@ -100,16 +136,16 @@ func (s *System) anonPagein(a *anon) error {
 	if err != nil {
 		return err
 	}
-	pg.Busy = true
+	pg.Busy.Store(true)
 	err = s.mach.Swap.ReadSlot(a.swslot, pg.Data)
-	pg.Busy = false
+	pg.Busy.Store(false)
 	if err != nil {
 		s.mach.Mem.Free(pg)
 		return err
 	}
 	// The swap copy remains valid until the page is dirtied again; keep
 	// the slot so a clean eviction is free.
-	pg.Dirty = false
+	pg.Dirty.Store(false)
 	a.page = pg
 	s.mach.Stats.Inc("uvm.anon.pagein")
 	return nil
@@ -159,8 +195,11 @@ func (aa *arrayAmap) foreach(fn func(int, *anon) bool) {
 }
 
 // amap is an anonymous memory map: a set of anons covering a range of
-// virtual pages (§5.2). refs counts the map entries referencing it.
+// virtual pages (§5.2). refs counts the map entries referencing it. mu
+// guards refs and the impl contents; it nests below map and object locks
+// and above anon locks.
 type amap struct {
+	mu   sync.Mutex
 	impl amapImpl
 	refs int
 }
@@ -178,6 +217,13 @@ func (s *System) newAmap(nslots int) *amap {
 	return &amap{impl: s.newAmapImpl(nslots), refs: 1}
 }
 
+// amapRef adds a map-entry reference.
+func (s *System) amapRef(am *amap) {
+	am.mu.Lock()
+	am.refs++
+	am.mu.Unlock()
+}
+
 // amapUnref drops one map-entry reference; the last drop releases every
 // anon.
 //
@@ -188,11 +234,13 @@ func (s *System) newAmap(nslots int) *amap {
 // and bounded by the original mapping's size, and full teardown (exit,
 // complete munmap) always frees everything, which the leak tests verify.
 func (s *System) amapUnref(am *amap) {
+	am.mu.Lock()
 	if am.refs <= 0 {
 		panic("uvm: amap refcount underflow")
 	}
 	am.refs--
 	if am.refs > 0 {
+		am.mu.Unlock()
 		return
 	}
 	am.impl.foreach(func(slot int, a *anon) bool {
@@ -200,6 +248,7 @@ func (s *System) amapUnref(am *amap) {
 		am.impl.set(slot, nil)
 		return true
 	})
+	am.mu.Unlock()
 	s.mach.Stats.Add("uvm.amap.live", -1)
 }
 
@@ -211,6 +260,9 @@ func (s *System) amapUnref(am *amap) {
 //   - shared amap: allocate a new amap and copy the anon *pointers* for
 //     the entry's slice, bumping each anon's reference count. No page data
 //     moves; that is deferred to the per-anon copy-on-write fault.
+//
+// Caller holds the entry's map lock exclusively — amapCopy mutates the
+// entry itself.
 func (s *System) amapCopy(e *entry) {
 	defer func() { e.needsCopy = false }()
 	if e.amap == nil {
@@ -218,18 +270,22 @@ func (s *System) amapCopy(e *entry) {
 		e.amapOff = 0
 		return
 	}
-	if e.amap.refs == 1 {
+	am := e.amap
+	am.mu.Lock()
+	if am.refs == 1 {
+		am.mu.Unlock()
 		return
 	}
 	n := e.pages()
-	na := s.newAmap(n)
+	na := s.newAmap(n) // private until published below
 	for i := 0; i < n; i++ {
-		if a := e.amap.impl.get(e.amapOff + i); a != nil {
+		if a := am.impl.get(e.amapOff + i); a != nil {
 			s.anonRef(a)
 			na.impl.set(i, a)
 		}
 	}
-	s.amapUnref(e.amap)
+	am.mu.Unlock()
+	s.amapUnref(am)
 	e.amap = na
 	e.amapOff = 0
 }

@@ -109,7 +109,7 @@ func TestLoanSurvivesOwnerExit(t *testing.T) {
 	if pages[0].Data[0] != 0x77 {
 		t.Fatalf("orphaned loan corrupted: %#x", pages[0].Data[0])
 	}
-	if pages[0].Owner != nil {
+	if pages[0].Owner() != nil {
 		t.Fatal("owner not cleared at exit")
 	}
 	// Returning the loan finally frees the frame.

@@ -21,6 +21,13 @@ import (
 // fault, neighbouring *resident* pages are mapped in according to the
 // entry's advice (four ahead, three behind by default) to absorb future
 // faults (Table 2).
+//
+// Locking: the map is taken shared so faults in one process run
+// concurrently; it is upgraded to exclusive only when the fault must
+// mutate the entry itself (clear needs-copy / allocate the amap). The
+// resolved page's owner (anon or object) stays locked from resolution
+// through the pmap entry, so the pagedaemon — which TryLocks owners —
+// can never free a page out from under a fault in progress.
 func (s *System) fault(p *Process, va param.VAddr, access param.Prot) error {
 	s.mach.Clock.Advance(s.mach.Costs.FaultTrap)
 	s.mach.Stats.Inc(sim.CtrFaults)
@@ -32,27 +39,46 @@ func (s *System) fault(p *Process, va param.VAddr, access param.Prot) error {
 	}
 
 	m := p.m
-	m.lock()
-	defer m.unlock()
+	m.rlock()
+	wlocked := false
+	unlockMap := func() {
+		if wlocked {
+			m.unlock()
+		} else {
+			m.runlock()
+		}
+	}
 
 	e := m.lookup(va)
-	if e == nil {
-		return vmapi.ErrFault
-	}
-	if !e.prot.Allows(access) {
+	if e == nil || !e.prot.Allows(access) {
+		unlockMap()
 		return vmapi.ErrFault
 	}
 
-	// Clear needs-copy before a write can land (amap allocation/copy).
-	// Read faults leave needs-copy alone — the data can be mapped
+	// Clear needs-copy before a write can land (amap allocation/copy),
+	// and materialise the amap on the first touch of a pure zero-fill
+	// mapping. Both mutate the entry, so the shared lock is upgraded to
+	// exclusive and the lookup redone. Read faults on needs-copy entries
+	// with a lower layer leave needs-copy alone — the data can be mapped
 	// read-only straight from the lower layers (contrast with BSD VM,
 	// which allocates its shadow object even on read faults).
-	if write && e.needsCopy {
-		s.amapCopy(e)
+	if (write && e.needsCopy) || (e.amap == nil && e.obj == nil) {
+		m.runlock()
+		m.lockNoCharge()
+		wlocked = true
+		e = m.lookupQuiet(va)
+		if e == nil || !e.prot.Allows(access) {
+			unlockMap()
+			return vmapi.ErrFault
+		}
+		if (write && e.needsCopy) || (e.amap == nil && e.obj == nil) {
+			s.amapCopy(e)
+		}
 	}
 
-	pg, prot, err := s.faultResolve(p, e, va, write)
+	pg, prot, release, err := s.faultResolve(p, e, va, write)
 	if err != nil {
+		unlockMap()
 		return err
 	}
 	// While needs-copy is set the amap is shared at the *amap* level
@@ -63,11 +89,12 @@ func (s *System) fault(p *Process, va param.VAddr, access param.Prot) error {
 		prot &^= param.ProtWrite
 	}
 
-	pg.Referenced = true
+	pg.Referenced.Store(true)
 	p.pm.Enter(param.Trunc(va), pg, prot, e.wired > 0)
-	if pg.WireCount == 0 && !pg.Loaned() {
+	if pg.WireCount.Load() == 0 && !pg.Loaned() {
 		s.mach.Mem.Activate(pg)
 	}
+	release()
 
 	if !s.cfg.DisableLookahead {
 		s.lookahead(p, e, va)
@@ -75,6 +102,7 @@ func (s *System) fault(p *Process, va param.VAddr, access param.Prot) error {
 	if s.cfg.AsyncPagein {
 		s.asyncPagein(e, va)
 	}
+	unlockMap()
 	return nil
 }
 
@@ -85,13 +113,16 @@ func (s *System) fault(p *Process, va param.VAddr, access param.Prot) error {
 // overlaps the faulting process' execution; the next fault then finds
 // them resident and the lookahead machinery maps them for free.
 func (s *System) asyncPagein(e *entry, faultVA param.VAddr) {
-	if e.obj == nil || e.obj.vnode == nil {
+	o := e.obj
+	if o == nil || o.vnode == nil {
 		return
 	}
 	ahead, _ := e.advice.Lookahead()
 	if ahead == 0 {
 		return
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	base := param.Trunc(faultVA)
 	for d := 1; d <= ahead; d++ {
 		va := base + param.VAddr(d)*param.PageSize
@@ -99,107 +130,162 @@ func (s *System) asyncPagein(e *entry, faultVA param.VAddr) {
 			break
 		}
 		idx := e.objIndex(va)
-		if _, resident := e.obj.pages[idx]; resident {
+		if _, resident := o.pages[idx]; resident {
 			continue
 		}
-		if idx >= e.obj.vnode.NumPages() {
+		if idx >= o.vnode.NumPages() {
 			break
 		}
 		// Allocate the frame (CPU cost charged) and issue the overlapped
 		// read.
-		pg, err := s.allocPage(e.obj, param.PageToOff(idx), false)
+		pg, raced, err := s.allocObjPageLocked(o, idx, false)
 		if err != nil {
 			return
 		}
-		if err := e.obj.vnode.ReadPageAsync(idx, pg.Data); err != nil {
+		if raced {
+			continue // a concurrent fault brought the page in
+		}
+		if err := o.vnode.ReadPageAsync(idx, pg.Data); err != nil {
 			s.mach.Mem.Free(pg)
 			return
 		}
-		pg.Dirty = false
-		e.obj.pages[idx] = pg
+		pg.Dirty.Store(false)
+		o.pages[idx] = pg
 		s.mach.Mem.Activate(pg)
 		s.mach.Stats.Inc("uvm.asyncpagein.pages")
 	}
 }
 
 // faultResolve finds (or creates) the page for va and decides the
-// hardware protection to map it with.
-func (s *System) faultResolve(p *Process, e *entry, va param.VAddr, write bool) (*phys.Page, param.Prot, error) {
-	// ---- Layer 1: the amap (anonymous) layer. ----
-	if e.amap != nil {
-		if a := e.amap.impl.get(e.slotOf(va)); a != nil {
-			return s.faultAnon(e, a, e.slotOf(va), write)
+// hardware protection to map it with. On success the returned release
+// func holds the page owner's lock until the caller has entered the
+// mapping; the caller must invoke it exactly once.
+func (s *System) faultResolve(p *Process, e *entry, va param.VAddr, write bool) (*phys.Page, param.Prot, func(), error) {
+	for {
+		// ---- Layer 1: the amap (anonymous) layer. ----
+		if am := e.amap; am != nil {
+			am.mu.Lock()
+			if a := am.impl.get(e.slotOf(va)); a != nil {
+				return s.faultAnon(e, am, a, e.slotOf(va), write)
+			}
+			am.mu.Unlock()
 		}
-	}
 
-	// ---- Layer 2: the backing object layer. ----
-	if e.obj != nil {
-		idx := e.objIndex(va)
-		pg, ok := e.obj.pages[idx]
-		if !ok {
-			var err error
-			pg, err = e.obj.ops.get(e.obj, idx) // pager allocates (§6)
-			if err != nil {
-				return nil, 0, err
-			}
-		}
-		if write && e.cow {
-			// Promote the object page into a fresh anon: the object page
-			// itself is never modified by a private mapping.
-			na := s.newAnon()
-			np, err := s.allocPage(na, 0, false)
-			if err != nil {
-				return nil, 0, err
-			}
-			s.mach.Mem.CopyData(np, pg)
-			np.Dirty = true
-			na.page = np
-			e.amap.impl.set(e.slotOf(va), na)
-			return np, e.prot, nil
-		}
-		if write {
-			if pg.Loaned() {
-				// Writing a shared object page that is out on loan: the
-				// borrowers' view must not change. Replace the object's
-				// page with a private copy and orphan the loaned frame.
-				np, err := s.breakObjLoan(e.obj, idx, pg)
+		// ---- Layer 2: the backing object layer. ----
+		if o := e.obj; o != nil {
+			idx := e.objIndex(va)
+			// A write on a copy-on-write entry will promote the object
+			// page into a fresh anon. The anon and its frame are
+			// allocated before the object lock is taken so a reclaim
+			// triggered by the allocation can still evict o's pages.
+			var (
+				na *anon
+				np *phys.Page
+			)
+			if write && e.cow {
+				na = s.newAnon()
+				var err error
+				np, err = s.allocPage(na, 0, false)
 				if err != nil {
-					return nil, 0, err
+					return nil, 0, nil, err
 				}
-				pg = np
+				na.page = np
 			}
-			pg.Dirty = true
-			return pg, e.prot, nil
+			o.mu.Lock()
+			pg, ok := o.pages[idx]
+			if !ok {
+				var err error
+				pg, err = o.ops.get(o, idx) // pager allocates (§6)
+				if err != nil {
+					o.mu.Unlock()
+					if na != nil {
+						s.anonUnref(na)
+					}
+					return nil, 0, nil, err
+				}
+			}
+			if write && e.cow {
+				// Promote the object page into a fresh anon: the object page
+				// itself is never modified by a private mapping.
+				s.mach.Mem.CopyData(np, pg)
+				np.Dirty.Store(true)
+				am := e.amap
+				am.mu.Lock()
+				if am.impl.get(e.slotOf(va)) != nil {
+					// Another fault promoted this slot first: discard our
+					// copy and resolve through the amap layer instead.
+					am.mu.Unlock()
+					o.mu.Unlock()
+					s.anonUnref(na)
+					continue
+				}
+				am.impl.set(e.slotOf(va), na)
+				na.mu.Lock() // hold the anon across the pmap entry
+				am.mu.Unlock()
+				o.mu.Unlock()
+				return np, e.prot, func() { na.mu.Unlock() }, nil
+			}
+			if write {
+				if pg.Loaned() {
+					// Writing a shared object page that is out on loan: the
+					// borrowers' view must not change. Replace the object's
+					// page with a private copy and orphan the loaned frame.
+					np2, retry, err := s.breakObjLoan(o, idx, pg)
+					if err != nil {
+						o.mu.Unlock()
+						return nil, 0, nil, err
+					}
+					if retry {
+						o.mu.Unlock()
+						continue
+					}
+					pg = np2
+				}
+				pg.Dirty.Store(true)
+				return pg, e.prot, func() { o.mu.Unlock() }, nil
+			}
+			prot := e.prot
+			if e.cow {
+				prot &^= param.ProtWrite // future writes must fault
+			}
+			return pg, prot, func() { o.mu.Unlock() }, nil
 		}
-		prot := e.prot
-		if e.cow {
-			prot &^= param.ProtWrite // future writes must fault
-		}
-		return pg, prot, nil
-	}
 
-	// ---- Layer 3: pure zero-fill (null object). ----
-	if e.amap == nil {
-		// First touch of a zero-fill mapping by a read: the amap is
-		// created now (deferred allocation runs out of places to defer).
-		s.amapCopy(e)
+		// ---- Layer 3: pure zero-fill (the amap was materialised before
+		// resolve; the slot is empty). ----
+		na := s.newAnon()
+		np, err := s.allocPage(na, 0, true)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		np.Dirty.Store(true) // anonymous content lives only in RAM until paged
+		na.page = np
+		am := e.amap
+		am.mu.Lock()
+		if am.impl.get(e.slotOf(va)) != nil {
+			// Lost a race with a concurrent fault on the same page: retry
+			// and resolve through the existing anon.
+			am.mu.Unlock()
+			s.anonUnref(na)
+			continue
+		}
+		am.impl.set(e.slotOf(va), na)
+		na.mu.Lock()
+		am.mu.Unlock()
+		return np, e.prot, func() { na.mu.Unlock() }, nil
 	}
-	na := s.newAnon()
-	np, err := s.allocPage(na, 0, true)
-	if err != nil {
-		return nil, 0, err
-	}
-	np.Dirty = true // anonymous content lives only in RAM until paged
-	na.page = np
-	e.amap.impl.set(e.slotOf(va), na)
-	return np, e.prot, nil
 }
 
-// faultAnon resolves a fault that hit an anon in the amap layer.
-func (s *System) faultAnon(e *entry, a *anon, slot int, write bool) (*phys.Page, param.Prot, error) {
+// faultAnon resolves a fault that hit an anon in the amap layer. Called
+// with am.mu held; on success the returned release func unlocks the
+// resolved page's anon.
+func (s *System) faultAnon(e *entry, am *amap, a *anon, slot int, write bool) (*phys.Page, param.Prot, func(), error) {
+	a.mu.Lock()
 	if a.page == nil {
-		if err := s.anonPagein(a); err != nil {
-			return nil, 0, err
+		if err := s.anonPageinLocked(a); err != nil {
+			a.mu.Unlock()
+			am.mu.Unlock()
+			return nil, 0, nil, err
 		}
 	}
 	pg := a.page
@@ -208,19 +294,21 @@ func (s *System) faultAnon(e *entry, a *anon, slot int, write bool) (*phys.Page,
 		if a.refs > 1 || pg.Loaned() {
 			prot &^= param.ProtWrite
 		}
-		return pg, prot, nil
+		am.mu.Unlock()
+		return pg, prot, func() { a.mu.Unlock() }, nil
 	}
 	if a.refs == 1 && !pg.Loaned() {
 		// Sole owner: write in place. (BSD VM in the same situation
 		// copies the page to the top shadow object — §5.3's "expensive
 		// and unnecessary page allocation and data copy".)
-		pg.Dirty = true
+		pg.Dirty.Store(true)
 		// The swap copy (if any) is now stale.
 		if a.swslot != swap.NoSlot {
 			s.mach.Swap.Free(a.swslot)
 			a.swslot = swap.NoSlot
 		}
-		return pg, e.prot, nil
+		am.mu.Unlock()
+		return pg, e.prot, func() { a.mu.Unlock() }, nil
 	}
 	// Copy-on-write: copy the data to a newly allocated anon and drop the
 	// reference to the original (§5.2). Also the loan-break path: writing
@@ -228,20 +316,26 @@ func (s *System) faultAnon(e *entry, a *anon, slot int, write bool) (*phys.Page,
 	na := s.newAnon()
 	np, err := s.allocPage(na, 0, false)
 	if err != nil {
-		return nil, 0, err
+		a.mu.Unlock()
+		am.mu.Unlock()
+		return nil, 0, nil, err
 	}
 	s.mach.Mem.CopyData(np, pg)
-	np.Dirty = true
+	np.Dirty.Store(true)
 	na.page = np
-	e.amap.impl.set(slot, na)
+	am.impl.set(slot, na)
+	a.mu.Unlock()
 	s.anonUnref(a)
+	na.mu.Lock() // hold the fresh anon across the pmap entry
+	am.mu.Unlock()
 	s.mach.Stats.Inc("uvm.cow.copies")
-	return np, e.prot, nil
+	return np, e.prot, func() { na.mu.Unlock() }, nil
 }
 
 // lookahead maps in resident neighbour pages around a fault (§5.4). Only
 // pages already resident are touched — "this mechanism only works for
-// resident pages"; nothing is paged in.
+// resident pages"; nothing is paged in. Each neighbour is resolved and
+// entered under its owner's lock, mirroring the main fault path.
 func (s *System) lookahead(p *Process, e *entry, faultVA param.VAddr) {
 	ahead, behind := e.advice.Lookahead()
 	base := param.Trunc(faultVA)
@@ -257,34 +351,53 @@ func (s *System) lookahead(p *Process, e *entry, faultVA param.VAddr) {
 			continue
 		}
 		var (
-			pg   *phys.Page
-			prot = e.prot
+			pg      *phys.Page
+			prot    = e.prot
+			release func()
 		)
-		if e.amap != nil {
-			if a := e.amap.impl.get(e.slotOf(va)); a != nil && a.page != nil {
-				pg = a.page
-				if a.refs > 1 || pg.Loaned() {
-					prot &^= param.ProtWrite
+		if am := e.amap; am != nil {
+			am.mu.Lock()
+			if a := am.impl.get(e.slotOf(va)); a != nil {
+				a.mu.Lock()
+				if a.page != nil {
+					pg = a.page
+					if a.refs > 1 || pg.Loaned() {
+						prot &^= param.ProtWrite
+					}
+					release = func() { a.mu.Unlock() }
+				} else {
+					a.mu.Unlock()
 				}
 			}
+			am.mu.Unlock()
 		}
 		if pg == nil && e.obj != nil {
-			if op, ok := e.obj.pages[e.objIndex(va)]; ok && !op.Busy {
+			o := e.obj
+			o.mu.Lock()
+			if op, ok := o.pages[e.objIndex(va)]; ok && !op.Busy.Load() {
 				pg = op
 				if e.cow {
 					prot &^= param.ProtWrite
 				}
+				release = func() { o.mu.Unlock() }
+			} else {
+				o.mu.Unlock()
 			}
 		}
-		if pg == nil || pg.WireCount > 0 {
+		if pg == nil {
+			continue
+		}
+		if pg.WireCount.Load() > 0 {
+			release()
 			continue
 		}
 		if e.needsCopy {
 			prot &^= param.ProtWrite
 		}
-		pg.Referenced = true
+		pg.Referenced.Store(true)
 		p.pm.Enter(va, pg, prot, e.wired > 0)
 		s.mach.Mem.Activate(pg)
+		release()
 		s.mach.Stats.Inc("uvm.lookahead.mapped")
 	}
 }

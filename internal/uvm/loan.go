@@ -19,45 +19,63 @@ import (
 // page on loan is written, the object receives a fresh copy and the
 // loaned frame is orphaned to its borrowers (breakObjLoan). The
 // pagedaemon skips loaned pages, so pageout cannot yank a loan either.
+//
+// Concurrency: the loan count is taken under the page owner's lock (so a
+// loan cannot race a pageout or teardown of the same page), and the
+// keep-or-free decision when loans drop is made under the page identity
+// lock (so the last borrower and a dying owner cannot double-free the
+// frame).
 
 // Loanout loans npages pages starting at addr, faulting them resident
 // first if needed. The returned pages are held by "the kernel" (the
 // caller) until LoanReturn, or until they are handed onward with
 // Transfer.
 func (p *Process) Loanout(addr param.VAddr, npages int) ([]*phys.Page, error) {
-	if p.exited {
+	if p.exited.Load() {
 		return nil, vmapi.ErrExited
 	}
 	if npages <= 0 || !param.PageAligned(addr) {
 		return nil, vmapi.ErrInvalid
 	}
 	s := p.sys
-	s.big.Lock()
-	defer s.big.Unlock()
 
 	pages := make([]*phys.Page, 0, npages)
 	for i := 0; i < npages; i++ {
 		va := addr + param.VAddr(i)*param.PageSize
-		if _, ok := p.pm.Lookup(va); !ok {
-			if err := s.fault(p, va, param.ProtRead); err != nil {
-				s.unloanLocked(pages)
-				return nil, err
+		loaned := false
+		for attempt := 0; attempt < 16 && !loaned; attempt++ {
+			pte, ok := p.pm.Lookup(va)
+			if !ok || pte.Page == nil {
+				if err := s.fault(p, va, param.ProtRead); err != nil {
+					s.unloan(pages)
+					return nil, err
+				}
+				continue
 			}
+			pg := pte.Page
+			release, ok := s.lockPageOwner(pg)
+			if !ok {
+				continue
+			}
+			if pte2, still := p.pm.Lookup(va); !still || pte2.Page != pg {
+				release() // evicted or replaced between lookup and lock
+				continue
+			}
+			pg.LoanCount.Add(1)
+			// All mappings become read-only so any write faults and the COW
+			// machinery keeps the borrowers' view stable.
+			s.mach.MMU.PageProtect(pg, param.ProtRead)
+			// The borrower (kernel I/O path) maps the page into its own
+			// address space.
+			s.mach.Clock.Advance(s.mach.Costs.PmapEnter)
+			release()
+			pages = append(pages, pg)
+			loaned = true
 		}
-		pte, ok := p.pm.Lookup(va)
-		if !ok || pte.Page == nil {
-			s.unloanLocked(pages)
+		if !loaned {
+			s.unloan(pages)
 			return nil, vmapi.ErrFault
 		}
-		pg := pte.Page
-		pg.LoanCount++
-		// All mappings become read-only so any write faults and the COW
-		// machinery keeps the borrowers' view stable.
-		s.mach.MMU.PageProtect(pg, param.ProtRead)
-		// The borrower (kernel I/O path) maps the page into its own
-		// address space.
-		s.mach.Clock.Advance(s.mach.Costs.PmapEnter)
-		pages = append(pages, pg)
 	}
 	s.mach.Stats.Add(sim.CtrLoanouts, int64(len(pages)))
 	return pages, nil
@@ -67,21 +85,23 @@ func (p *Process) Loanout(addr param.VAddr, npages int) ([]*phys.Page, error) {
 // handed onward with Transfer). Orphaned frames whose last loan drops are
 // freed.
 func (p *Process) LoanReturn(pages []*phys.Page) {
-	s := p.sys
-	s.big.Lock()
-	defer s.big.Unlock()
-	s.unloanLocked(pages)
+	p.sys.unloan(pages)
 }
 
-func (s *System) unloanLocked(pages []*phys.Page) {
+func (s *System) unloan(pages []*phys.Page) {
 	for _, pg := range pages {
-		if pg.LoanCount <= 0 {
+		if pg.LoanCount.Load() <= 0 {
 			panic("uvm: loan count underflow")
 		}
 		// The borrower tears down its kernel mapping of the page.
 		s.mach.Clock.Advance(s.mach.Costs.PmapRemove)
-		pg.LoanCount--
-		if pg.LoanCount == 0 && pg.Owner == nil {
+		freeIt := false
+		pg.WithIdentity(func(owner any) {
+			if pg.LoanCount.Add(-1) == 0 && owner == nil {
+				freeIt = true
+			}
+		})
+		if freeIt {
 			s.mach.MMU.PageProtect(pg, param.ProtNone)
 			s.mach.Mem.Dequeue(pg)
 			s.mach.Mem.Free(pg)
@@ -90,23 +110,40 @@ func (s *System) unloanLocked(pages []*phys.Page) {
 }
 
 // breakObjLoan replaces a loaned object page with a fresh copy owned by
-// the object, orphaning the loaned frame to its borrowers.
-func (s *System) breakObjLoan(o *uobject, idx int, pg *phys.Page) (*phys.Page, error) {
+// the object, orphaning the loaned frame to its borrowers. Caller holds
+// o.mu; the lock is dropped around the allocation (see
+// allocObjPageLocked) and retry=true is returned if the page changed
+// while it was released.
+func (s *System) breakObjLoan(o *uobject, idx int, pg *phys.Page) (*phys.Page, bool, error) {
+	o.mu.Unlock()
 	np, err := s.allocPage(o, param.PageToOff(idx), false)
+	o.mu.Lock()
 	if err != nil {
-		return nil, err
+		return nil, false, err
+	}
+	if cur, ok := o.pages[idx]; !ok || cur != pg || !pg.Loaned() {
+		s.mach.Mem.Free(np)
+		return nil, true, nil
 	}
 	s.mach.Mem.CopyData(np, pg)
-	np.Dirty = pg.Dirty
+	np.Dirty.Store(pg.Dirty.Load())
 	// Detach the loaned frame from the object; it now belongs to nobody
-	// and survives only for its borrowers.
+	// and survives only for its borrowers. If the last loan was returned
+	// while we were copying, the orphan is already unreachable — free it.
 	s.mach.MMU.PageProtect(pg, param.ProtNone)
 	s.mach.Mem.Dequeue(pg)
-	pg.Owner = nil
+	freeIt := false
+	pg.WithIdentity(func(any) {
+		pg.Orphan()
+		freeIt = pg.LoanCount.Load() == 0
+	})
+	if freeIt {
+		s.mach.Mem.Free(pg)
+	}
 	o.pages[idx] = np
 	s.mach.Mem.Activate(np)
 	s.mach.Stats.Inc("uvm.loan.broken")
-	return np, nil
+	return np, false, nil
 }
 
 // AllocKernelPages allocates n free-standing, owner-less pages filled by
@@ -114,19 +151,17 @@ func (s *System) breakObjLoan(o *uobject, idx int, pg *phys.Page) (*phys.Page, e
 // (the source side of a page transfer). The pages are wired until
 // transferred or freed.
 func (s *System) AllocKernelPages(n int, fill func(idx int, buf []byte)) ([]*phys.Page, error) {
-	s.big.Lock()
-	defer s.big.Unlock()
 	pages := make([]*phys.Page, 0, n)
 	for i := 0; i < n; i++ {
 		pg, err := s.allocPage(nil, 0, fill == nil)
 		if err != nil {
 			for _, q := range pages {
-				q.WireCount = 0
+				q.WireCount.Store(0)
 				s.mach.Mem.Free(q)
 			}
 			return nil, err
 		}
-		pg.WireCount = 1
+		pg.WireCount.Store(1)
 		if fill != nil {
 			fill(i, pg.Data)
 		}

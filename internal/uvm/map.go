@@ -2,6 +2,7 @@ package uvm
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"uvm/internal/param"
@@ -50,11 +51,17 @@ func (e *entry) objIndex(va param.VAddr) int {
 	return param.OffToPage(e.off) + int((param.Trunc(va)-e.start)>>param.PageShift)
 }
 
-// vmMap is a uvm_map.
+// vmMap is a uvm_map. The RWMutex is the top of the package lock order:
+// mutating operations take it exclusively, the fault path takes it
+// shared (upgrading only to clear needs-copy or allocate the amap), so
+// faults on different pages of one process proceed concurrently with
+// each other and with every other process.
 type vmMap struct {
 	sys    *System
 	name   string
 	kernel bool
+
+	mu sync.RWMutex
 
 	min, max param.VAddr
 	allocMax param.VAddr
@@ -64,7 +71,7 @@ type vmMap struct {
 
 	pmap *pmap.Pmap
 
-	lockedAt time.Duration
+	lockedAt time.Duration // write-lock hold tracking (stats)
 }
 
 func (s *System) newMap(name string, min, max param.VAddr, kernel bool) *vmMap {
@@ -79,8 +86,17 @@ func (s *System) newMap(name string, min, max param.VAddr, kernel bool) *vmMap {
 	}
 }
 
+// lock takes the map exclusively, charging the acquisition cost.
 func (m *vmMap) lock() {
 	m.sys.mach.Clock.Advance(m.sys.mach.Costs.LockAcquire)
+	m.mu.Lock()
+	m.lockedAt = m.sys.mach.Clock.Now()
+}
+
+// lockNoCharge is the read->write upgrade path of the fault handler: the
+// acquisition cost was already charged when the read lock was taken.
+func (m *vmMap) lockNoCharge() {
+	m.mu.Lock()
 	m.lockedAt = m.sys.mach.Clock.Now()
 }
 
@@ -88,14 +104,24 @@ func (m *vmMap) unlock() {
 	held := m.sys.mach.Clock.Since(m.lockedAt)
 	m.sys.mach.Stats.Add("uvm.map.lockheld_ns", int64(held))
 	m.sys.mach.Stats.Max("uvm.map.lockheld_max_ns", int64(held))
+	m.mu.Unlock()
 }
+
+// rlock takes the map shared (the fault path), charging the same
+// acquisition cost as an exclusive lock so simulated times do not depend
+// on the locking granularity.
+func (m *vmMap) rlock() {
+	m.sys.mach.Clock.Advance(m.sys.mach.Costs.LockAcquire)
+	m.mu.RLock()
+}
+
+func (m *vmMap) runlock() { m.mu.RUnlock() }
 
 func (s *System) allocEntry(m *vmMap) *entry {
 	if m.kernel {
-		if s.kentryUse >= s.cfg.KernelEntryPool {
+		if int(s.kentryUse.Add(1)) > s.cfg.KernelEntryPool {
 			panic("uvm: kernel map entry pool exhausted")
 		}
-		s.kentryUse++
 	}
 	s.mach.Clock.Advance(s.mach.Costs.MapEntryAlloc)
 	s.mach.Stats.Inc("uvm.mapentry.alloc")
@@ -105,7 +131,7 @@ func (s *System) allocEntry(m *vmMap) *entry {
 
 func (s *System) freeEntry(m *vmMap, e *entry) {
 	if m.kernel {
-		s.kentryUse--
+		s.kentryUse.Add(-1)
 	}
 	s.mach.Clock.Advance(s.mach.Costs.MapEntryFree)
 	s.mach.Stats.Add("uvm.mapentry.live", -1)
@@ -212,6 +238,21 @@ func (m *vmMap) lookup(va param.VAddr) *entry {
 	return nil
 }
 
+// lookupQuiet is lookup without the cost charge, for the fault handler's
+// re-lookup after a read->write lock upgrade (the walk was already paid
+// for under the read lock).
+func (m *vmMap) lookupQuiet(va param.VAddr) *entry {
+	for cur := m.head; cur != nil; cur = cur.next {
+		if va >= cur.start && va < cur.end {
+			return cur
+		}
+		if cur.start > va {
+			return nil
+		}
+	}
+	return nil
+}
+
 func (m *vmMap) findSpace(hint param.VAddr, length param.VSize) (param.VAddr, error) {
 	if length == 0 {
 		return 0, vmapi.ErrInvalid
@@ -255,10 +296,10 @@ func (m *vmMap) clipStart(e *entry, va param.VAddr) {
 	e.off += param.PageOff(delta) << param.PageShift
 	e.amapOff += delta
 	if e.obj != nil {
-		e.obj.refs++
+		m.sys.objRef(e.obj)
 	}
 	if e.amap != nil {
-		e.amap.refs++
+		m.sys.amapRef(e.amap)
 	}
 
 	headE.prev = e.prev
@@ -286,10 +327,10 @@ func (m *vmMap) clipEnd(e *entry, va param.VAddr) {
 
 	e.end = va
 	if e.obj != nil {
-		e.obj.refs++
+		m.sys.objRef(e.obj)
 	}
 	if e.amap != nil {
-		e.amap.refs++
+		m.sys.amapRef(e.amap)
 	}
 
 	tailE.next = e.next

@@ -58,15 +58,13 @@ func (t *MapToken) TotalSize() param.VSize {
 
 // Export packages [addr, addr+length) of p's address space into a token.
 func (p *Process) Export(addr param.VAddr, length param.VSize, mode CopyMode) (*MapToken, error) {
-	if p.exited {
+	if p.exited.Load() {
 		return nil, vmapi.ErrExited
 	}
 	if !param.PageAligned(addr) || length == 0 {
 		return nil, vmapi.ErrInvalid
 	}
 	s := p.sys
-	s.big.Lock()
-	defer s.big.Unlock()
 
 	m := p.m
 	m.lock()
@@ -99,10 +97,10 @@ func (p *Process) Export(addr param.VAddr, length param.VSize, mode CopyMode) (*
 		switch mode {
 		case ExportShare:
 			if e.amap != nil {
-				e.amap.refs++
+				s.amapRef(e.amap)
 			}
 			if e.obj != nil {
-				e.obj.refs++
+				s.objRef(e.obj)
 			}
 		case ExportCopy:
 			// Both sides go copy-on-write over the shared amap — the
@@ -114,10 +112,10 @@ func (p *Process) Export(addr param.VAddr, length param.VSize, mode CopyMode) (*
 				p.pm.Protect(e.start, e.end, e.prot&^param.ProtWrite)
 			}
 			if e.amap != nil {
-				e.amap.refs++
+				s.amapRef(e.amap)
 			}
 			if e.obj != nil {
-				e.obj.refs++
+				s.objRef(e.obj)
 			}
 		case ExportDonate:
 			// The references move into the token.
@@ -141,18 +139,22 @@ func (p *Process) Export(addr param.VAddr, length param.VSize, mode CopyMode) (*
 // Import maps a token's contents into p's address space at a
 // kernel-chosen address and consumes the token.
 func (p *Process) Import(tok *MapToken) (param.VAddr, error) {
-	if p.exited {
+	if p.exited.Load() {
 		return 0, vmapi.ErrExited
 	}
 	if tok == nil || tok.used || tok.sys != p.sys {
 		return 0, vmapi.ErrInvalid
 	}
 	s := p.sys
-	s.big.Lock()
-	defer s.big.Unlock()
 
 	m := p.m
 	m.lock()
+	// Re-check under the map lock (see Mmap): imports racing Exit's
+	// teardown would leak the token's mappings.
+	if p.exited.Load() {
+		m.unlock()
+		return 0, vmapi.ErrExited
+	}
 	base, err := m.findSpace(param.MmapHintBase, tok.TotalSize())
 	if err != nil {
 		m.unlock()
@@ -185,8 +187,6 @@ func (t *MapToken) Release() {
 	}
 	t.used = true
 	s := t.sys
-	s.big.Lock()
-	defer s.big.Unlock()
 	for _, pc := range t.pieces {
 		if pc.amap != nil {
 			s.amapUnref(pc.amap)

@@ -159,10 +159,10 @@ func TestMprotectRespectsMaxProt(t *testing.T) {
 	s, _ := bootTest(t, 256)
 	p := newProc(t, s, "p")
 	va, _ := p.Mmap(0, param.PageSize, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
-	s.big.Lock()
+	p.m.mu.Lock()
 	e := p.m.lookup(va)
 	e.maxProt = param.ProtRW
-	s.big.Unlock()
+	p.m.mu.Unlock()
 	if err := p.Mprotect(va, param.PageSize, param.ProtRWX); !errors.Is(err, vmapi.ErrInvalid) {
 		t.Fatalf("protection beyond maxProt allowed: %v", err)
 	}

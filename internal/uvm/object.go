@@ -2,6 +2,7 @@ package uvm
 
 import (
 	"fmt"
+	"sync"
 
 	"uvm/internal/param"
 	"uvm/internal/phys"
@@ -14,6 +15,8 @@ import (
 // property is that get *allocates the page itself* — the fault routine
 // never allocates pages for a pager, giving the pager full control over
 // which page receives the data (§6).
+//
+// All three operations are called with the object's mutex held.
 type pagerOps interface {
 	// name identifies the pager in stats and debug output.
 	name() string
@@ -30,7 +33,12 @@ type pagerOps interface {
 // vnode layer stores it in Vnode.VMObj and allocates it together with the
 // vnode) — no separate pager structure, no pager hash table (§6,
 // Figure 4). For anonymous shared objects (aobj) it stands alone.
+//
+// mu guards refs, the resident-page map and the aobj swap-slot map. It
+// nests below the map lock and above the amap/anon locks (the write
+// fault that promotes an object page into a fresh anon holds both).
 type uobject struct {
+	mu     sync.Mutex
 	ops    pagerOps
 	refs   int
 	sizePg int
@@ -45,13 +53,27 @@ func (o *uobject) String() string {
 	return fmt.Sprintf("uobj(%s refs=%d pages=%d)", o.ops.name(), o.refs, len(o.pages))
 }
 
+// objRef adds a mapping reference to an object.
+func (s *System) objRef(o *uobject) {
+	o.mu.Lock()
+	o.refs++
+	o.mu.Unlock()
+}
+
 // vnodeObject returns the uvm_object embedded in vn, creating it on first
 // mapping. Unlike BSD VM there is no hash lookup and no separate
-// structure allocations: the object lives inside the vnode.
+// structure allocations: the object lives inside the vnode. The
+// create-or-revive decision is serialised by vnObjMu so concurrent
+// mappers of the same file agree on one object.
 func (s *System) vnodeObject(vn *vfs.Vnode) *uobject {
-	if o, ok := vn.VMObj.(*uobject); ok && o != nil {
+	s.vnObjMu.Lock()
+	defer s.vnObjMu.Unlock()
+	if o, ok := vn.GetVMObj().(*uobject); ok && o != nil {
+		o.mu.Lock()
 		o.refs++
-		if o.refs == 1 {
+		revived := o.refs == 1
+		o.mu.Unlock()
+		if revived {
 			// First mapping reference since the object went inactive: the
 			// VM re-references the vnode.
 			vn.Ref()
@@ -66,10 +88,9 @@ func (s *System) vnodeObject(vn *vfs.Vnode) *uobject {
 		vnode:  vn,
 	}
 	vn.Ref()
-	vn.VMObj = o
 	// The recycle hook: when the vnode layer recycles this vnode, UVM
 	// terminates the embedded object (§4 — the single-cache design).
-	vn.OnRecycle = func(v *vfs.Vnode) { s.vnodeRecycled(o) }
+	vn.SetVMObj(o, func(v *vfs.Vnode) { s.vnodeRecycled(o) })
 	s.mach.Stats.Inc("uvm.uobj.vnode.created")
 	return o
 }
@@ -81,40 +102,73 @@ func (s *System) vnodeObject(vn *vfs.Vnode) *uobject {
 // long as the vnode cache keeps the vnode: one cache, managed by the vnode
 // layer (§4).
 func (s *System) objUnref(o *uobject) {
+	o.mu.Lock()
 	if o.refs <= 0 {
+		o.mu.Unlock()
 		panic("uvm: uobject refcount underflow: " + o.String())
 	}
 	o.refs--
 	if o.refs > 0 {
+		o.mu.Unlock()
 		return
 	}
 	o.ops.detach(o)
+	vn := o.vnode
+	o.mu.Unlock()
+	// The vnode reference is dropped outside the object lock: Unref can
+	// trigger the recycle hook, which takes the object lock itself.
+	if vn != nil {
+		vn.Unref()
+	}
 }
 
 // vnodeRecycled is the OnRecycle hook: free the object's pages and forget
-// it; the vnode is going away.
+// it; the vnode is going away. The vnode layer invokes the hook without
+// holding the filesystem lock.
 func (s *System) vnodeRecycled(o *uobject) {
-	s.big.Lock()
-	defer s.big.Unlock()
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	for idx, pg := range o.pages {
-		if pg.Dirty {
+		if pg.Dirty.Load() {
 			_ = o.vnode.WritePageAsync(idx, pg.Data)
-			pg.Dirty = false
+			pg.Dirty.Store(false)
 		}
 		s.freeObjectPage(o, idx, pg)
 	}
 	s.mach.Stats.Inc("uvm.uobj.vnode.recycled")
 }
 
-// freeObjectPage drops one resident page from o.
+// freeObjectPage drops one resident page from o. Caller holds o.mu.
 func (s *System) freeObjectPage(o *uobject, idx int, pg *phys.Page) {
 	s.mach.MMU.PageProtect(pg, param.ProtNone)
 	delete(o.pages, idx)
 	s.mach.Mem.Dequeue(pg)
-	if pg.WireCount > 0 {
-		pg.WireCount = 0
+	if pg.WireCount.Load() > 0 {
+		pg.WireCount.Store(0)
 	}
 	s.mach.Mem.Free(pg)
+}
+
+// allocObjPageLocked allocates a frame for page idx of o while o.mu is
+// held by the caller. The object lock is dropped around the allocation —
+// otherwise a reclaim triggered by memory pressure could not evict any
+// page belonging to o (the pagedaemon TryLocks owners), and a single
+// object owning most of RAM would deadlock the system. After relocking,
+// a concurrent fault may have made the page resident; in that case the
+// fresh frame is returned to the allocator and the resident page is
+// handed back with raced=true.
+func (s *System) allocObjPageLocked(o *uobject, idx int, zero bool) (pg *phys.Page, raced bool, err error) {
+	o.mu.Unlock()
+	pg, err = s.allocPage(o, param.PageToOff(idx), zero)
+	o.mu.Lock()
+	if err != nil {
+		return nil, false, err
+	}
+	if existing, ok := o.pages[idx]; ok {
+		s.mach.Mem.Free(pg)
+		return existing, true, nil
+	}
+	return pg, false, nil
 }
 
 // --- vnode pager ---
@@ -124,49 +178,51 @@ type vnodePager struct{ sys *System }
 func (vp *vnodePager) name() string { return "vnode" }
 
 func (vp *vnodePager) get(o *uobject, idx int) (*phys.Page, error) {
-	pg, err := vp.sys.allocPage(o, param.PageToOff(idx), false)
+	pg, raced, err := vp.sys.allocObjPageLocked(o, idx, false)
 	if err != nil {
 		return nil, err
 	}
-	pg.Busy = true
+	if raced {
+		return pg, nil
+	}
+	pg.Busy.Store(true)
 	if idx < o.vnode.NumPages() {
 		err = o.vnode.ReadPage(idx, pg.Data)
 	} else {
 		vp.sys.mach.Mem.Zero(pg) // mapping past EOF zero-fills
 	}
-	pg.Busy = false
+	pg.Busy.Store(false)
 	if err != nil {
 		vp.sys.mach.Mem.Free(pg)
 		return nil, err
 	}
 	o.pages[idx] = pg
-	pg.Dirty = false
+	pg.Dirty.Store(false)
 	vp.sys.mach.Stats.Inc(sim.CtrPageIns)
 	return pg, nil
 }
 
 func (vp *vnodePager) put(o *uobject, pg *phys.Page) error {
-	idx := param.OffToPage(pg.Off)
+	idx := param.OffToPage(pg.Off())
 	if err := o.vnode.WritePage(idx, pg.Data); err != nil {
 		return err
 	}
-	pg.Dirty = false
+	pg.Dirty.Store(false)
 	vp.sys.mach.Stats.Inc(sim.CtrPageOuts)
 	return nil
 }
 
 func (vp *vnodePager) detach(o *uobject) {
 	// Last mapping gone: push modified pages through the buffer cache
-	// (asynchronously — the pages also stay resident), then drop the
-	// VM's vnode reference. The pages stay with the vnode; the vnode
-	// cache decides their fate.
+	// (asynchronously — the pages also stay resident). The pages stay
+	// with the vnode; the vnode cache decides their fate. (The VM's
+	// vnode reference is dropped by objUnref, outside the object lock.)
 	for idx, pg := range o.pages {
-		if pg.Dirty {
+		if pg.Dirty.Load() {
 			_ = o.vnode.WritePageAsync(idx, pg.Data)
-			pg.Dirty = false
+			pg.Dirty.Store(false)
 		}
 	}
-	o.vnode.Unref()
 }
 
 // --- aobj pager (anonymous uvm objects: System V shm, shared anon) ---
@@ -190,36 +246,42 @@ func (s *System) newAObj(n int) *uobject {
 
 func (ap *aobjPager) get(o *uobject, idx int) (*phys.Page, error) {
 	if slot, ok := o.aobjSlots[idx]; ok {
-		pg, err := ap.sys.allocPage(o, param.PageToOff(idx), false)
+		pg, raced, err := ap.sys.allocObjPageLocked(o, idx, false)
 		if err != nil {
 			return nil, err
 		}
-		pg.Busy = true
+		if raced {
+			return pg, nil
+		}
+		pg.Busy.Store(true)
 		err = ap.sys.mach.Swap.ReadSlot(slot, pg.Data)
-		pg.Busy = false
+		pg.Busy.Store(false)
 		if err != nil {
 			ap.sys.mach.Mem.Free(pg)
 			return nil, err
 		}
 		o.pages[idx] = pg
-		pg.Dirty = false
+		pg.Dirty.Store(false)
 		ap.sys.mach.Stats.Inc(sim.CtrPageIns)
 		return pg, nil
 	}
 	// First touch: zero-fill. Anonymous content exists only in RAM, so
 	// the page is born dirty.
-	pg, err := ap.sys.allocPage(o, param.PageToOff(idx), true)
+	pg, raced, err := ap.sys.allocObjPageLocked(o, idx, true)
 	if err != nil {
 		return nil, err
 	}
+	if raced {
+		return pg, nil
+	}
 	o.pages[idx] = pg
-	pg.Dirty = true
+	pg.Dirty.Store(true)
 	return pg, nil
 }
 
 func (ap *aobjPager) put(o *uobject, pg *phys.Page) error {
 	// Single-page put path (used outside the pagedaemon's clustering).
-	idx := param.OffToPage(pg.Off)
+	idx := param.OffToPage(pg.Off())
 	slot, ok := o.aobjSlots[idx]
 	if !ok {
 		var err error
@@ -232,7 +294,7 @@ func (ap *aobjPager) put(o *uobject, pg *phys.Page) error {
 	if err := ap.sys.mach.Swap.WriteSlot(slot, pg.Data); err != nil {
 		return err
 	}
-	pg.Dirty = false
+	pg.Dirty.Store(false)
 	ap.sys.mach.Stats.Inc(sim.CtrPageOuts)
 	return nil
 }
@@ -272,7 +334,7 @@ func (s *System) newDeviceObject(n int, fill func(idx int, buf []byte)) (*uobjec
 		if err != nil {
 			return nil, err
 		}
-		pg.WireCount = 1 // device memory never pages
+		pg.WireCount.Store(1) // device memory never pages
 		if fill != nil {
 			fill(i, pg.Data)
 		}
@@ -295,7 +357,7 @@ func (dp *devPager) put(o *uobject, pg *phys.Page) error { return nil } // devic
 
 func (dp *devPager) detach(o *uobject) {
 	for _, pg := range dp.frames {
-		pg.WireCount = 0
+		pg.WireCount.Store(0)
 		dp.sys.mach.MMU.PageProtect(pg, param.ProtNone)
 		dp.sys.mach.Mem.Dequeue(pg)
 		dp.sys.mach.Mem.Free(pg)

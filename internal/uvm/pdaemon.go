@@ -24,12 +24,69 @@ func (s *System) allocPage(owner any, off param.PageOff, zero bool) (*phys.Page,
 	}
 }
 
+// ownerSet tracks the anon/object locks the pagedaemon holds for pages
+// it has clustered for pageout. Owners are acquired with TryLock only —
+// reclaim runs inside allocation paths that may already hold map, amap,
+// anon or object locks, and skipping a busy owner is always safe —
+// so the pagedaemon can never deadlock against a fault in progress.
+type ownerSet map[any]struct{}
+
+func (os ownerSet) holds(owner any) bool { _, ok := os[owner]; return ok }
+
+// tryAcquire locks owner unless it is already held by this set or
+// unavailable. It reports whether the caller may proceed under the lock,
+// and whether the lock was newly acquired (and must be released if the
+// page is not clustered).
+func (os ownerSet) tryAcquire(owner any) (proceed, acquired bool) {
+	if os.holds(owner) {
+		return true, false
+	}
+	switch o := owner.(type) {
+	case *anon:
+		if !o.mu.TryLock() {
+			return false, false
+		}
+	case *uobject:
+		if !o.mu.TryLock() {
+			return false, false
+		}
+	default:
+		return false, false
+	}
+	return true, true
+}
+
+func (os ownerSet) keep(owner any) { os[owner] = struct{}{} }
+
+func releaseOwner(owner any) {
+	switch o := owner.(type) {
+	case *anon:
+		o.mu.Unlock()
+	case *uobject:
+		o.mu.Unlock()
+	}
+}
+
+func (os ownerSet) releaseAll() {
+	for owner := range os {
+		releaseOwner(owner)
+		delete(os, owner)
+	}
+}
+
 // reclaim is UVM's pagedaemon. Its signature improvement over BSD VM (§6)
 // is aggressive clustering of anonymous memory: because anonymous pages
 // have no permanent home on backing store, the daemon *reassigns* their
 // swap locations so that all the dirty anonymous pages it has collected —
 // whatever their offsets — occupy one contiguous run of slots and go out
 // in a single large I/O.
+//
+// Concurrency: each candidate's owner is TryLocked and the page
+// re-verified under the lock (it may have been freed, re-homed or
+// re-referenced since the queue snapshot). Owners of clustered pages
+// stay locked until the cluster I/O completes, so a concurrent fault on
+// a page mid-pageout blocks on the anon and then pages back in from the
+// freshly assigned slot.
 func (s *System) reclaim(target int) error {
 	freed := 0
 	for pass := 0; pass < 4 && freed < target; pass++ {
@@ -37,63 +94,102 @@ func (s *System) reclaim(target int) error {
 			s.mach.Mem.RefillInactive(target * 2)
 		}
 		var cluster []*phys.Page
+		held := make(ownerSet)
 		s.mach.Mem.ScanInactive(target*4, func(pg *phys.Page) bool {
 			if freed+len(cluster) >= target {
 				return false
 			}
-			if pg.Referenced {
-				s.mach.Mem.Activate(pg)
+			if pg.Referenced.Load() {
+				// Second chance — but only if the page is still inactive;
+				// it may have been freed (and even reallocated) since the
+				// queue snapshot.
+				s.mach.Mem.ActivateIfInactive(pg)
 				return true
 			}
-			switch owner := pg.Owner.(type) {
+			owner := pg.Owner()
+			proceed, acquired := held.tryAcquire(owner)
+			if !proceed {
+				return true // owner busy (or gone): skip this page
+			}
+			release := func() {
+				if acquired {
+					releaseOwner(owner)
+				}
+			}
+			// Re-verify under the owner lock: the frame must still belong
+			// to this owner and still be evictable.
+			if pg.Owner() != owner || pg.Busy.Load() || pg.Wired() || pg.Loaned() {
+				release()
+				return true
+			}
+			switch o := owner.(type) {
 			case *anon:
+				if o.page != pg {
+					release()
+					return true
+				}
 				s.mach.MMU.PageProtect(pg, param.ProtNone)
-				if pg.Dirty {
+				if pg.Dirty.Load() {
 					if len(cluster) < s.cfg.MaxCluster {
-						pg.Busy = true
+						pg.Busy.Store(true)
 						s.mach.Mem.Dequeue(pg)
 						cluster = append(cluster, pg)
+						held.keep(owner)
+					} else {
+						release()
 					}
 					return true
 				}
 				// Clean anon page: the swap copy is current; just free.
-				owner.page = nil
+				o.page = nil
 				s.mach.Mem.Dequeue(pg)
 				s.mach.Mem.Free(pg)
 				freed++
+				release()
 			case *uobject:
+				idx := param.OffToPage(pg.Off())
+				if o.pages[idx] != pg {
+					release()
+					return true
+				}
 				s.mach.MMU.PageProtect(pg, param.ProtNone)
-				idx := param.OffToPage(pg.Off)
-				if owner.aobjSlots != nil {
+				if o.aobjSlots != nil {
 					// Anonymous object pages cluster exactly like anons.
-					if pg.Dirty {
+					if pg.Dirty.Load() {
 						if len(cluster) < s.cfg.MaxCluster {
-							pg.Busy = true
+							pg.Busy.Store(true)
 							s.mach.Mem.Dequeue(pg)
 							cluster = append(cluster, pg)
+							held.keep(owner)
+						} else {
+							release()
 						}
 						return true
 					}
-					delete(owner.pages, idx)
+					delete(o.pages, idx)
 					s.mach.Mem.Dequeue(pg)
 					s.mach.Mem.Free(pg)
 					freed++
+					release()
 					return true
 				}
 				// Vnode page: clean pages are free to drop; dirty ones are
 				// written back through the pager.
-				if pg.Dirty {
-					if err := owner.ops.put(owner, pg); err != nil {
+				if pg.Dirty.Load() {
+					if err := o.ops.put(o, pg); err != nil {
 						s.mach.Mem.Activate(pg)
+						release()
 						return true
 					}
 				}
-				delete(owner.pages, idx)
+				delete(o.pages, idx)
 				s.mach.Mem.Dequeue(pg)
 				s.mach.Mem.Free(pg)
 				freed++
+				release()
 			default:
-				// Unknown owner (shouldn't happen): skip.
+				// Ownerless (orphaned loan) or foreign page: skip.
+				release()
 			}
 			return true
 		})
@@ -105,14 +201,16 @@ func (s *System) reclaim(target int) error {
 				// Could not clean (e.g. swap exhausted): put the
 				// unwritten pages back on the queues and stop trying.
 				for _, pg := range cluster {
-					if pg.Busy {
-						pg.Busy = false
+					if pg.Busy.Load() {
+						pg.Busy.Store(false)
 						s.mach.Mem.Activate(pg)
 					}
 				}
+				held.releaseAll()
 				break
 			}
 		}
+		held.releaseAll()
 	}
 	if freed == 0 {
 		return vmapi.ErrDeadlock
@@ -125,7 +223,8 @@ func (s *System) reclaim(target int) error {
 // clustering enabled, every page's swap location is (re)assigned into one
 // contiguous run and the whole cluster leaves in one I/O operation; with
 // the ablation flag set, each page goes to its own slot with its own I/O —
-// which is precisely BSD VM's behaviour (Figure 5's two curves).
+// which is precisely BSD VM's behaviour (Figure 5's two curves). The
+// caller holds every cluster page's owner lock.
 func (s *System) clusterPageout(cluster []*phys.Page) (int, error) {
 	if s.cfg.DisableClustering || len(cluster) == 1 {
 		return s.pageoutSingles(cluster)
@@ -175,11 +274,11 @@ func (s *System) pageoutSingles(cluster []*phys.Page) (int, error) {
 }
 
 func (s *System) currentSlot(pg *phys.Page) int64 {
-	switch owner := pg.Owner.(type) {
+	switch owner := pg.Owner().(type) {
 	case *anon:
 		return owner.swslot
 	case *uobject:
-		if slot, ok := owner.aobjSlots[param.OffToPage(pg.Off)]; ok {
+		if slot, ok := owner.aobjSlots[param.OffToPage(pg.Off())]; ok {
 			return slot
 		}
 	}
@@ -187,11 +286,11 @@ func (s *System) currentSlot(pg *phys.Page) int64 {
 }
 
 func (s *System) setSlot(pg *phys.Page, slot int64) {
-	switch owner := pg.Owner.(type) {
+	switch owner := pg.Owner().(type) {
 	case *anon:
 		owner.swslot = slot
 	case *uobject:
-		owner.aobjSlots[param.OffToPage(pg.Off)] = slot
+		owner.aobjSlots[param.OffToPage(pg.Off())] = slot
 	}
 }
 
@@ -208,13 +307,13 @@ func (s *System) reassignSlot(pg *phys.Page, slot int64) {
 
 // finishPageout detaches the now-clean page from its owner and frees it.
 func (s *System) finishPageout(pg *phys.Page) {
-	pg.Dirty = false
-	pg.Busy = false
-	switch owner := pg.Owner.(type) {
+	pg.Dirty.Store(false)
+	pg.Busy.Store(false)
+	switch owner := pg.Owner().(type) {
 	case *anon:
 		owner.page = nil
 	case *uobject:
-		delete(owner.pages, param.OffToPage(pg.Off))
+		delete(owner.pages, param.OffToPage(pg.Off()))
 	}
 	s.mach.Mem.Dequeue(pg)
 	s.mach.Mem.Free(pg)

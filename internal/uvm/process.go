@@ -1,7 +1,11 @@
 package uvm
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"uvm/internal/param"
+	"uvm/internal/phys"
 	"uvm/internal/pmap"
 	"uvm/internal/vfs"
 	"uvm/internal/vmapi"
@@ -17,8 +21,9 @@ type Process struct {
 	m  *vmMap
 	pm *pmap.Pmap
 
-	exited bool
-	// vforked marks a child sharing its parent's address space.
+	exited atomic.Bool
+	// vforked marks a child sharing its parent's map; set before the
+	// process is registered, immutable afterwards.
 	vforked bool
 
 	// uareaWired counts the pages of the user structure / kernel stack,
@@ -26,6 +31,9 @@ type Process struct {
 	// kernel map (§3.2).
 	uareaWired int
 
+	// wireMu guards kstackWires: two kernel paths (sysctl, physio) may
+	// wire buffers of the same process concurrently.
+	wireMu sync.Mutex
 	// kstackWires records buffer ranges temporarily wired by sysctl and
 	// physio; the record lives "on the kernel stack" (§3.2), never in the
 	// map.
@@ -36,26 +44,36 @@ type Process struct {
 	// ptPages counts i386 page-table pages; under UVM their wired state
 	// is recorded only in the pmap (here mirrored as a counter), never as
 	// map entries.
-	ptPages int
+	ptPages atomic.Int32
 }
 
 // NewProcess implements vmapi.System.
 func (s *System) NewProcess(name string) (vmapi.Process, error) {
-	s.big.Lock()
-	defer s.big.Unlock()
-	return s.newProcessLocked(name)
+	p, err := s.newProc(name)
+	if err != nil {
+		return nil, err
+	}
+	s.addProc(p)
+	return p, nil
 }
 
-func (s *System) newProcessLocked(name string) (*Process, error) {
+// newProc creates (but does not register) a process.
+func (s *System) newProc(name string) (*Process, error) {
 	p := &Process{sys: s, name: name}
 	p.m = s.newMap(name, param.UserTextBase, param.UserMax, false)
 	p.pm = p.m.pmap
 
 	// i386 page-table wiring: pmap-only bookkeeping (§3.2).
-	p.pm.OnPTAlloc = func() { p.ptPages++ }
+	p.pm.OnPTAlloc = func() { p.ptPages.Add(1) }
 	p.pm.OnPTFree = func() {
-		if p.ptPages > 0 {
-			p.ptPages--
+		for {
+			n := p.ptPages.Load()
+			if n <= 0 {
+				return
+			}
+			if p.ptPages.CompareAndSwap(n, n-1) {
+				return
+			}
 		}
 	}
 
@@ -66,9 +84,6 @@ func (s *System) newProcessLocked(name string) (*Process, error) {
 	p.uareaWired = 4
 	s.mach.Clock.ChargeN(p.uareaWired, s.mach.Costs.PageAlloc)
 	s.mach.Clock.ChargeN(p.uareaWired, s.mach.Costs.PageZero)
-
-	s.procs[p] = struct{}{}
-	s.mach.Stats.Inc("uvm.proc.created")
 	return p, nil
 }
 
@@ -76,12 +91,12 @@ func (s *System) newProcessLocked(name string) (*Process, error) {
 func (p *Process) Name() string { return p.name }
 
 // Exited implements vmapi.Process.
-func (p *Process) Exited() bool { return p.exited }
+func (p *Process) Exited() bool { return p.exited.Load() }
 
 // MapEntryCount implements vmapi.Process.
 func (p *Process) MapEntryCount() int {
-	p.sys.big.Lock()
-	defer p.sys.big.Unlock()
+	p.m.mu.RLock()
+	defer p.m.mu.RUnlock()
 	return p.m.n
 }
 
@@ -93,14 +108,12 @@ func (p *Process) PTPages() int { return p.pm.PTPages() }
 
 // Mincore implements vmapi.Process: per-page residency of the range.
 func (p *Process) Mincore(addr param.VAddr, length param.VSize) ([]bool, error) {
-	if p.exited {
+	if p.exited.Load() {
 		return nil, vmapi.ErrExited
 	}
 	if length == 0 {
 		return nil, vmapi.ErrInvalid
 	}
-	p.sys.big.Lock()
-	defer p.sys.big.Unlock()
 	start := param.Trunc(addr)
 	end := param.Round(addr + param.VAddr(length))
 	out := make([]bool, 0, (end-start)>>param.PageShift)
@@ -118,7 +131,7 @@ func (p *Process) Mincore(addr param.VAddr, length param.VSize) ([]bool, error) 
 func (p *Process) Mmap(addr param.VAddr, length param.VSize, prot param.Prot,
 	flags vmapi.MapFlags, vn *vfs.Vnode, off param.PageOff) (param.VAddr, error) {
 
-	if p.exited {
+	if p.exited.Load() {
 		return 0, vmapi.ErrExited
 	}
 	if length == 0 || !flags.Valid() || !param.PageAligned(param.VAddr(off)) {
@@ -130,11 +143,15 @@ func (p *Process) Mmap(addr param.VAddr, length param.VSize, prot param.Prot,
 	length = param.RoundSize(length)
 
 	s := p.sys
-	s.big.Lock()
-	defer s.big.Unlock()
-
 	m := p.m
 	m.lock()
+	// Re-check under the map lock: a concurrent Exit may have torn the
+	// space down after the entry check above, and an insert now would
+	// never be unmapped.
+	if p.exited.Load() {
+		m.unlock()
+		return 0, vmapi.ErrExited
+	}
 	var removed []*entry
 	var va param.VAddr
 	if flags&vmapi.MapFixed != 0 {
@@ -193,15 +210,13 @@ func (p *Process) Mmap(addr param.VAddr, length param.VSize, prot param.Prot,
 // entries leave the map under the lock; references — and any teardown
 // I/O — are dropped after it is released.
 func (p *Process) Munmap(addr param.VAddr, length param.VSize) error {
-	if p.exited {
+	if p.exited.Load() {
 		return vmapi.ErrExited
 	}
 	if !param.PageAligned(addr) || length == 0 {
 		return vmapi.ErrInvalid
 	}
 	s := p.sys
-	s.big.Lock()
-	defer s.big.Unlock()
 	m := p.m
 	m.lock()
 	removed := m.unmapPhase1(addr, addr+param.VAddr(param.RoundSize(length)))
@@ -212,22 +227,18 @@ func (p *Process) Munmap(addr param.VAddr, length param.VSize) error {
 
 // Mprotect implements vmapi.Process.
 func (p *Process) Mprotect(addr param.VAddr, length param.VSize, prot param.Prot) error {
-	if p.exited {
+	if p.exited.Load() {
 		return vmapi.ErrExited
 	}
-	p.sys.big.Lock()
-	defer p.sys.big.Unlock()
 	return p.m.protect(addr, addr+param.VAddr(param.RoundSize(length)), prot)
 }
 
 // Minherit implements vmapi.Process (§5.4: BSD's minherit is one of the
 // mechanisms UVM's amap design had to support beyond SunOS).
 func (p *Process) Minherit(addr param.VAddr, length param.VSize, inh param.Inherit) error {
-	if p.exited {
+	if p.exited.Load() {
 		return vmapi.ErrExited
 	}
-	p.sys.big.Lock()
-	defer p.sys.big.Unlock()
 	m := p.m
 	m.lock()
 	defer m.unlock()
@@ -240,11 +251,9 @@ func (p *Process) Minherit(addr param.VAddr, length param.VSize, inh param.Inher
 // Madvise implements vmapi.Process; UVM's fault handler uses the advice to
 // size its lookahead window (§5.4).
 func (p *Process) Madvise(addr param.VAddr, length param.VSize, adv param.Advice) error {
-	if p.exited {
+	if p.exited.Load() {
 		return vmapi.ErrExited
 	}
-	p.sys.big.Lock()
-	defer p.sys.big.Unlock()
 	m := p.m
 	m.lock()
 	defer m.unlock()
@@ -256,11 +265,9 @@ func (p *Process) Madvise(addr param.VAddr, length param.VSize, adv param.Advice
 
 // Msync implements vmapi.Process.
 func (p *Process) Msync(addr param.VAddr, length param.VSize) error {
-	if p.exited {
+	if p.exited.Load() {
 		return vmapi.ErrExited
 	}
-	p.sys.big.Lock()
-	defer p.sys.big.Unlock()
 	m := p.m
 	m.lock()
 	defer m.unlock()
@@ -278,14 +285,18 @@ func (p *Process) Msync(addr param.VAddr, length param.VSize) error {
 			hi = end
 		}
 		loIdx, hiIdx := cur.objIndex(lo), cur.objIndex(hi-1)
-		for idx, pg := range cur.obj.pages {
-			if idx < loIdx || idx > hiIdx || !pg.Dirty {
+		o := cur.obj
+		o.mu.Lock()
+		for idx, pg := range o.pages {
+			if idx < loIdx || idx > hiIdx || !pg.Dirty.Load() {
 				continue
 			}
-			if err := cur.obj.ops.put(cur.obj, pg); err != nil {
+			if err := o.ops.put(o, pg); err != nil {
+				o.mu.Unlock()
 				return err
 			}
 		}
+		o.mu.Unlock()
 	}
 	return nil
 }
@@ -294,17 +305,15 @@ func (p *Process) Msync(addr param.VAddr, length param.VSize) error {
 // Figure 3): copy-inherited ranges share the amap under needs-copy in
 // both processes, and the parent's resident pages are write-protected.
 func (p *Process) Fork(name string) (vmapi.Process, error) {
-	if p.exited {
+	if p.exited.Load() {
 		return nil, vmapi.ErrExited
 	}
 	s := p.sys
-	s.big.Lock()
-	defer s.big.Unlock()
-
-	child, err := s.newProcessLocked(name)
+	child, err := s.newProc(name)
 	if err != nil {
 		return nil, err
 	}
+	s.addProc(child)
 	pm, cm := p.m, child.m
 	pm.lock()
 	cm.lock()
@@ -323,10 +332,10 @@ func (p *Process) Fork(name string) (vmapi.Process, error) {
 			ce.prev, ce.next = nil, nil
 			ce.wired = 0
 			if ce.amap != nil {
-				ce.amap.refs++
+				s.amapRef(ce.amap)
 			}
 			if ce.obj != nil {
-				ce.obj.refs++
+				s.objRef(ce.obj)
 			}
 			cm.insert(ce)
 		case param.InheritCopy:
@@ -336,10 +345,10 @@ func (p *Process) Fork(name string) (vmapi.Process, error) {
 			ce.wired = 0
 			ce.cow, ce.needsCopy = true, true
 			if ce.amap != nil {
-				ce.amap.refs++
+				s.amapRef(ce.amap)
 			}
 			if ce.obj != nil {
-				ce.obj.refs++
+				s.objRef(ce.obj)
 			}
 			if e.cow {
 				// The parent's own view also becomes needs-copy, and its
@@ -360,34 +369,31 @@ func (p *Process) Fork(name string) (vmapi.Process, error) {
 // Vfork implements vmapi.Process: the child shares the parent's map and
 // pmap; only the uarea is new (the footnote-3 fast path).
 func (p *Process) Vfork(name string) (vmapi.Process, error) {
-	if p.exited {
+	if p.exited.Load() {
 		return nil, vmapi.ErrExited
 	}
 	if p.vforked {
 		return nil, vmapi.ErrInvalid
 	}
 	s := p.sys
-	s.big.Lock()
-	defer s.big.Unlock()
-	child, err := s.newProcessLocked(name)
+	child, err := s.newProc(name)
 	if err != nil {
 		return nil, err
 	}
 	child.m = p.m
 	child.pm = p.pm
 	child.vforked = true
+	s.addProc(child)
 	s.mach.Stats.Inc("uvm.vforks")
 	return child, nil
 }
 
 // Exit implements vmapi.Process: two-phase teardown of the whole space.
 func (p *Process) Exit() {
-	if p.exited {
+	if !p.exited.CompareAndSwap(false, true) {
 		return
 	}
 	s := p.sys
-	s.big.Lock()
-	defer s.big.Unlock()
 
 	if !p.vforked {
 		m := p.m
@@ -399,16 +405,16 @@ func (p *Process) Exit() {
 		p.pm.RemoveAll()
 	}
 	p.uareaWired = 0
+	p.wireMu.Lock()
 	p.kstackWires = nil
+	p.wireMu.Unlock()
 
-	delete(s.procs, p)
-	p.exited = true
-	s.mach.Stats.Inc("uvm.proc.exited")
+	s.dropProc(p)
 }
 
 // Access implements vmapi.Process.
 func (p *Process) Access(addr param.VAddr, write bool) error {
-	if p.exited {
+	if p.exited.Load() {
 		return vmapi.ErrExited
 	}
 	access := param.ProtRead
@@ -416,13 +422,11 @@ func (p *Process) Access(addr param.VAddr, write bool) error {
 		access = param.ProtWrite
 	}
 	s := p.sys
-	s.big.Lock()
-	defer s.big.Unlock()
 	if pte, ok := p.pm.Extract(addr); ok && pte.Prot.Allows(access) {
 		s.mach.Clock.Advance(s.mach.Costs.PageTouch)
-		pte.Page.Referenced = true
+		pte.Page.Referenced.Store(true)
 		if write {
-			pte.Page.Dirty = true
+			pte.Page.Dirty.Store(true)
 		}
 		return nil
 	}
@@ -450,9 +454,20 @@ func (p *Process) WriteBytes(addr param.VAddr, data []byte) error {
 	return p.copyBytes(addr, data, true)
 }
 
+// copyBytes is the copyin/copyout path. Each page-sized chunk is copied
+// under the page owner's lock, after re-verifying that the page is still
+// mapped at the faulted address *with the needed protection* — the
+// pagedaemon may evict the page between the fault and the copy, and a
+// concurrent fork or loanout may write-protect it (a write must then
+// refault so the COW machinery runs instead of scribbling on the now
+// shared frame).
 func (p *Process) copyBytes(addr param.VAddr, buf []byte, write bool) error {
+	need := param.ProtRead
+	if write {
+		need = param.ProtWrite
+	}
 	done := 0
-	for done < len(buf) {
+	for attempts := 0; done < len(buf); {
 		va := addr + param.VAddr(done)
 		pageOff := int(va & param.PageMask)
 		n := param.PageSize - pageOff
@@ -466,12 +481,63 @@ func (p *Process) copyBytes(addr param.VAddr, buf []byte, write bool) error {
 		if !ok || pte.Page == nil {
 			return vmapi.ErrFault
 		}
-		if write {
-			copy(pte.Page.Data[pageOff:pageOff+n], buf[done:done+n])
-		} else {
-			copy(buf[done:done+n], pte.Page.Data[pageOff:pageOff+n])
+		pg := pte.Page
+		copied := false
+		release, ok := p.sys.lockPageOwner(pg)
+		if ok {
+			if pte2, still := p.pm.Lookup(va); still && pte2.Page == pg && pte2.Prot.Allows(need) {
+				if write {
+					copy(pg.Data[pageOff:pageOff+n], buf[done:done+n])
+				} else {
+					copy(buf[done:done+n], pg.Data[pageOff:pageOff+n])
+				}
+				copied = true
+			}
+			release()
 		}
+		if !copied {
+			if attempts++; attempts > 16 {
+				return vmapi.ErrFault
+			}
+			continue // page moved underneath us: refault and retry
+		}
+		attempts = 0
 		done += n
 	}
 	return nil
+}
+
+// lockPageOwner locks whatever structure owns pg — an anon, a uobject,
+// or (for ownerless loaned frames) the page identity itself — and
+// returns a release func. It reports failure if ownership keeps changing
+// underneath the acquisition (caller should refault and retry).
+func (s *System) lockPageOwner(pg *phys.Page) (func(), bool) {
+	for attempt := 0; attempt < 8; attempt++ {
+		owner := pg.Owner()
+		switch o := owner.(type) {
+		case *anon:
+			o.mu.Lock()
+			if pg.Owner() == owner {
+				return func() { o.mu.Unlock() }, true
+			}
+			o.mu.Unlock()
+		case *uobject:
+			o.mu.Lock()
+			if pg.Owner() == owner {
+				return func() { o.mu.Unlock() }, true
+			}
+			o.mu.Unlock()
+		case nil:
+			// Ownerless frame (orphaned loan, kernel page): serialise on
+			// the page identity lock itself.
+			verified := false
+			pg.WithIdentity(func(cur any) { verified = cur == nil })
+			if verified {
+				return func() {}, true
+			}
+		default:
+			return nil, false
+		}
+	}
+	return nil, false
 }

@@ -1,6 +1,8 @@
 package uvm
 
 import (
+	"sync"
+
 	"uvm/internal/param"
 	"uvm/internal/vmapi"
 )
@@ -13,8 +15,10 @@ import (
 
 type shmSegment struct {
 	sys    *System
-	obj    *uobject
 	npages int
+
+	mu  sync.Mutex // guards obj against a concurrent Attach/Release
+	obj *uobject
 }
 
 // NewShmSegment implements vmapi.System.
@@ -22,8 +26,6 @@ func (s *System) NewShmSegment(npages int) (vmapi.ShmSegment, error) {
 	if npages <= 0 {
 		return nil, vmapi.ErrInvalid
 	}
-	s.big.Lock()
-	defer s.big.Unlock()
 	return &shmSegment{sys: s, obj: s.newAObj(npages), npages: npages}, nil
 }
 
@@ -36,18 +38,23 @@ func (seg *shmSegment) Attach(pi vmapi.Process, prot param.Prot) (param.VAddr, e
 	if !ok || p.sys != seg.sys {
 		return 0, vmapi.ErrInvalid
 	}
-	if p.exited {
+	if p.exited.Load() {
 		return 0, vmapi.ErrExited
 	}
 	s := seg.sys
-	s.big.Lock()
-	defer s.big.Unlock()
+	seg.mu.Lock()
+	defer seg.mu.Unlock()
 	if seg.obj == nil {
 		return 0, vmapi.ErrInvalid
 	}
 	m := p.m
 	m.lock()
 	defer m.unlock()
+	// Re-check under the map lock (see Mmap): an attach racing Exit's
+	// teardown would leak the entry and its object reference.
+	if p.exited.Load() {
+		return 0, vmapi.ErrExited
+	}
 	length := param.VSize(seg.npages) * param.PageSize
 	va, err := m.findSpace(param.MmapHintBase, length)
 	if err != nil {
@@ -56,7 +63,7 @@ func (seg *shmSegment) Attach(pi vmapi.Process, prot param.Prot) (param.VAddr, e
 	e := s.allocEntry(m)
 	e.start, e.end = va, va+param.VAddr(length)
 	e.obj = seg.obj
-	seg.obj.refs++
+	s.objRef(seg.obj)
 	e.prot, e.maxProt = prot, param.ProtRWX
 	e.inherit = param.InheritShare
 	m.insert(e)
@@ -66,12 +73,12 @@ func (seg *shmSegment) Attach(pi vmapi.Process, prot param.Prot) (param.VAddr, e
 
 // Release implements vmapi.ShmSegment.
 func (seg *shmSegment) Release() {
-	if seg.obj == nil {
+	seg.mu.Lock()
+	obj := seg.obj
+	seg.obj = nil
+	seg.mu.Unlock()
+	if obj == nil {
 		return
 	}
-	s := seg.sys
-	s.big.Lock()
-	defer s.big.Unlock()
-	s.objUnref(seg.obj)
-	seg.obj = nil
+	seg.sys.objUnref(obj)
 }

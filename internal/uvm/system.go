@@ -10,10 +10,47 @@
 // It boots on the same vmapi.Machine substrate as internal/bsdvm — same
 // pmap layer, same cost table, same disks — so every measured difference
 // between the two packages is a design difference the paper describes.
+//
+// # Locking
+//
+// Unlike internal/bsdvm, which serialises every kernel entry behind one
+// big lock (a pre-SMP BSD kernel), this package uses fine-grained
+// locking so independent processes fault, loan, transfer and page out
+// concurrently:
+//
+//   - each vmMap carries a sync.RWMutex: mutating operations (mmap,
+//     munmap, fork, mprotect, wiring, map entry passing) take it
+//     exclusively; the fault path takes it shared, upgrading to
+//     exclusive only when it must mutate the entry itself (clearing
+//     needs-copy / allocating the amap);
+//   - each amap, anon and uobject carries its own mutex guarding its
+//     reference count and contents;
+//   - page state bits are atomics and page identity (owner) has a
+//     per-page mutex (see internal/phys), so loan teardown and the
+//     pagedaemon can make atomic keep-or-free decisions about frames
+//     whose owner is changing;
+//   - the page queues in internal/phys are sharded with per-shard locks;
+//   - the stat counters in internal/sim are lock-free atomics.
+//
+// The lock ordering is:
+//
+//	map -> object -> amap -> anon -> page identity -> leaf
+//
+// where "leaf" covers the pmap/MMU locks, the phys queue shards, swap,
+// vfs and disk — none of which acquire VM-layer locks. Two map locks
+// nest only parent-before-child during fork (the child is not yet
+// visible to any other goroutine). The pagedaemon acquires anon/object
+// locks only with TryLock and skips pages whose owner is busy, so it can
+// run inside any allocation path — even one that already holds map,
+// amap, anon or object locks — without deadlocking; pages it clusters
+// for pageout keep their owner locked until the I/O completes, which is
+// what makes a concurrent fault on a page mid-pageout block and then
+// cleanly page back in.
 package uvm
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"uvm/internal/param"
 	"uvm/internal/vmapi"
@@ -58,12 +95,16 @@ type System struct {
 	mach *vmapi.Machine
 	cfg  Config
 
-	big sync.Mutex
-
 	kmap      *vmMap
-	kentryUse int
+	kentryUse atomic.Int32
 
-	procs map[*Process]struct{}
+	// vnObjMu serialises vnode<->uvm_object identity: the create-or-ref
+	// decision in vnodeObject must be atomic across concurrent mappers
+	// of the same file.
+	vnObjMu sync.Mutex
+
+	procMu sync.Mutex
+	procs  map[*Process]struct{}
 }
 
 // Boot boots UVM on machine m with default configuration.
@@ -85,7 +126,7 @@ func BootConfig(m *vmapi.Machine, cfg Config) *System {
 		pages int
 		prot  param.Prot
 	}{{300, param.ProtRX}, {80, param.ProtRW}, {120, param.ProtRW}} {
-		if _, err := s.kernelAllocLocked(seg.pages, seg.prot); err != nil {
+		if _, err := s.kernelAlloc(seg.pages, seg.prot); err != nil {
 			panic("uvm: kernel boot allocation failed: " + err.Error())
 		}
 	}
@@ -102,12 +143,10 @@ func (s *System) Machine() *vmapi.Machine { return s.mach }
 // with their neighbour when attributes match, so boot-time subsystem
 // allocations do not each consume a map entry.
 func (s *System) KernelAlloc(npages int, prot param.Prot) (param.VAddr, error) {
-	s.big.Lock()
-	defer s.big.Unlock()
-	return s.kernelAllocLocked(npages, prot)
+	return s.kernelAlloc(npages, prot)
 }
 
-func (s *System) kernelAllocLocked(npages int, prot param.Prot) (param.VAddr, error) {
+func (s *System) kernelAlloc(npages int, prot param.Prot) (param.VAddr, error) {
 	s.kmap.lock()
 	defer s.kmap.unlock()
 	va, err := s.kmap.findSpace(0, param.VSize(npages)*param.PageSize)
@@ -124,21 +163,40 @@ func (s *System) kernelAllocLocked(npages int, prot param.Prot) (param.VAddr, er
 
 // KernelMapEntries implements vmapi.System.
 func (s *System) KernelMapEntries() int {
-	s.big.Lock()
-	defer s.big.Unlock()
+	s.kmap.mu.RLock()
+	defer s.kmap.mu.RUnlock()
 	return s.kmap.n
 }
 
 // TotalMapEntries implements vmapi.System.
 func (s *System) TotalMapEntries() int {
-	s.big.Lock()
-	defer s.big.Unlock()
+	s.procMu.Lock()
+	defer s.procMu.Unlock()
+	s.kmap.mu.RLock()
 	total := s.kmap.n
+	s.kmap.mu.RUnlock()
 	for p := range s.procs {
 		if p.vforked {
 			continue // shares its parent's map; counting it would double
 		}
+		p.m.mu.RLock()
 		total += p.m.n
+		p.m.mu.RUnlock()
 	}
 	return total
+}
+
+// addProc registers a fully initialised process.
+func (s *System) addProc(p *Process) {
+	s.procMu.Lock()
+	s.procs[p] = struct{}{}
+	s.procMu.Unlock()
+	s.mach.Stats.Inc("uvm.proc.created")
+}
+
+func (s *System) dropProc(p *Process) {
+	s.procMu.Lock()
+	delete(s.procs, p)
+	s.procMu.Unlock()
+	s.mach.Stats.Inc("uvm.proc.exited")
 }

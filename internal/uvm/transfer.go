@@ -28,18 +28,22 @@ import (
 // Transfer inserts the pages into p's address space as anonymous memory
 // and returns the chosen virtual address.
 func (p *Process) Transfer(pages []*phys.Page, prot param.Prot) (param.VAddr, error) {
-	if p.exited {
+	if p.exited.Load() {
 		return 0, vmapi.ErrExited
 	}
 	if len(pages) == 0 {
 		return 0, vmapi.ErrInvalid
 	}
 	s := p.sys
-	s.big.Lock()
-	defer s.big.Unlock()
 
 	m := p.m
 	m.lock()
+	// Re-check under the map lock (see Mmap): an insert racing Exit's
+	// teardown would leak the entry and its anons forever.
+	if p.exited.Load() {
+		m.unlock()
+		return 0, vmapi.ErrExited
+	}
 	length := param.VSize(len(pages)) * param.PageSize
 	va, err := m.findSpace(param.MmapHintBase, length)
 	if err != nil {
@@ -56,16 +60,15 @@ func (p *Process) Transfer(pages []*phys.Page, prot param.Prot) (param.VAddr, er
 	for i, pg := range pages {
 		a := s.newAnon()
 		a.page = pg
-		if pg.LoanCount > 0 {
+		if pg.LoanCount.Load() > 0 {
 			// The page arrives on loan: the anon inherits the loan
 			// reference held by the caller.
 			a.loaned = true
 		} else {
 			// Free-standing kernel page: the anon takes ownership.
-			pg.Owner = a
-			pg.Off = 0
-			pg.WireCount = 0
-			pg.Dirty = true // anonymous now; must reach swap if evicted
+			pg.SetOwner(a, 0)
+			pg.WireCount.Store(0)
+			pg.Dirty.Store(true) // anonymous now; must reach swap if evicted
 			s.mach.Mem.Activate(pg)
 		}
 		e.amap.impl.set(i, a)

@@ -34,12 +34,15 @@ func (s *System) fileIO(vn *vfs.Vnode, off int, buf []byte, write bool) (int, er
 	if off < 0 {
 		return 0, vmapi.ErrInvalid
 	}
-	s.big.Lock()
-	defer s.big.Unlock()
 
-	// Route through the embedded object — the single cache.
+	// Route through the embedded object — the single cache. The object
+	// lock serialises the page-level copies against concurrent faults,
+	// pageout and other file I/O on the same file.
 	o := s.vnodeObject(vn)
 	defer s.objUnref(o)
+
+	o.mu.Lock()
+	defer o.mu.Unlock()
 
 	done := 0
 	for done < len(buf) {
@@ -65,18 +68,18 @@ func (s *System) fileIO(vn *vfs.Vnode, off int, buf []byte, write bool) (int, er
 				return done, err
 			}
 		}
-		pg.Referenced = true
+		pg.Referenced.Store(true)
 		// The user/kernel copy of this chunk.
 		s.mach.Clock.Advance(s.mach.Costs.PageCopy)
 		if write {
 			copy(pg.Data[pageOff:pageOff+n], buf[done:done+n])
-			pg.Dirty = true
+			pg.Dirty.Store(true)
 			s.mach.Stats.Inc("uvm.ubc.writes")
 		} else {
 			copy(buf[done:done+n], pg.Data[pageOff:pageOff+n])
 			s.mach.Stats.Inc("uvm.ubc.reads")
 		}
-		if pg.WireCount == 0 && !pg.Loaned() {
+		if pg.WireCount.Load() == 0 && !pg.Loaned() {
 			s.mach.Mem.Activate(pg)
 		}
 		done += n

@@ -96,7 +96,7 @@ func TestZeroFillMappingHasNullObject(t *testing.T) {
 	s, _ := bootTest(t, 256)
 	p := newProc(t, s, "p")
 	va, _ := p.Mmap(0, param.PageSize, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
-	s.big.Lock()
+	p.m.mu.Lock()
 	e := p.m.lookup(va)
 	if e.obj != nil {
 		t.Fatal("zero-fill mapping has an object")
@@ -104,16 +104,16 @@ func TestZeroFillMappingHasNullObject(t *testing.T) {
 	if e.amap != nil {
 		t.Fatal("amap allocated before first fault (needs-copy not deferred)")
 	}
-	s.big.Unlock()
+	p.m.mu.Unlock()
 	p.Access(va, true)
-	s.big.Lock()
+	p.m.mu.Lock()
 	if e.amap == nil {
 		t.Fatal("no amap after write fault")
 	}
 	if e.needsCopy {
 		t.Fatal("needs-copy not cleared by write fault")
 	}
-	s.big.Unlock()
+	p.m.mu.Unlock()
 }
 
 func TestSharedFileMappingHasNullAmap(t *testing.T) {
@@ -124,7 +124,7 @@ func TestSharedFileMappingHasNullAmap(t *testing.T) {
 	p := newProc(t, s, "p")
 	va, _ := p.Mmap(0, param.PageSize, param.ProtRW, vmapi.MapShared, vn, 0)
 	p.Access(va, true)
-	s.big.Lock()
+	p.m.mu.Lock()
 	e := p.m.lookup(va)
 	if e.amap != nil {
 		t.Fatal("shared file mapping grew an amap")
@@ -132,7 +132,7 @@ func TestSharedFileMappingHasNullAmap(t *testing.T) {
 	if e.obj == nil {
 		t.Fatal("shared file mapping lost its object")
 	}
-	s.big.Unlock()
+	p.m.mu.Unlock()
 }
 
 func TestFileMappingReadsFileData(t *testing.T) {
@@ -249,11 +249,11 @@ func TestReadFaultOnPrivateAllocatesNothing(t *testing.T) {
 	if m.Stats.Get("uvm.amap.alloc") != amaps || m.Stats.Get("uvm.anon.alloc") != anons {
 		t.Fatal("read fault on private mapping allocated anonymous-memory structures")
 	}
-	s.big.Lock()
+	p.m.mu.Lock()
 	if e := p.m.lookup(va); !e.needsCopy {
 		t.Fatal("needs-copy cleared by a read fault")
 	}
-	s.big.Unlock()
+	p.m.mu.Unlock()
 }
 
 func TestForkCOWIsolation(t *testing.T) {
@@ -296,16 +296,16 @@ func TestFigure3Sequence(t *testing.T) {
 	va, _ := parent.Mmap(0, 3*param.PageSize, param.ProtRW, vmapi.MapPrivate, vn, 0)
 
 	// Establish: needs-copy, no amap.
-	s.big.Lock()
+	parent.m.mu.Lock()
 	pe := parent.m.lookup(va)
 	if !pe.needsCopy || pe.amap != nil {
 		t.Fatal("establish state wrong")
 	}
-	s.big.Unlock()
+	parent.m.mu.Unlock()
 
 	// Write middle page: amap 1 with anon 1 in the middle slot.
 	parent.WriteBytes(va+param.PageSize, []byte{1})
-	s.big.Lock()
+	parent.m.mu.Lock()
 	if pe.amap == nil || pe.amap.impl.get(pe.amapOff+1) == nil {
 		t.Fatal("write fault did not install anon in middle slot")
 	}
@@ -316,12 +316,12 @@ func TestFigure3Sequence(t *testing.T) {
 	if pe.amap.impl.get(pe.amapOff) != nil || pe.amap.impl.get(pe.amapOff+2) != nil {
 		t.Fatal("untouched slots must stay empty")
 	}
-	s.big.Unlock()
+	parent.m.mu.Unlock()
 
 	// Fork: both needs-copy, amap shared.
 	childI, _ := parent.Fork("child")
 	child := childI.(*Process)
-	s.big.Lock()
+	parent.m.mu.Lock()
 	ce := child.m.lookup(va)
 	if !pe.needsCopy || !ce.needsCopy {
 		t.Fatal("needs-copy not set in both after fork")
@@ -329,12 +329,12 @@ func TestFigure3Sequence(t *testing.T) {
 	if ce.amap != pe.amap || pe.amap.refs != 2 {
 		t.Fatalf("amap not shared at fork (refs=%d)", pe.amap.refs)
 	}
-	s.big.Unlock()
+	parent.m.mu.Unlock()
 
 	// Parent writes middle: amap 2 allocated for the parent, anon1 stays
 	// in the original amap, data copied to a fresh anon.
 	parent.WriteBytes(va+param.PageSize, []byte{2})
-	s.big.Lock()
+	parent.m.mu.Lock()
 	if pe.amap == ce.amap {
 		t.Fatal("parent did not get its own amap")
 	}
@@ -348,14 +348,14 @@ func TestFigure3Sequence(t *testing.T) {
 	if pAnon == anon1 || pAnon == nil {
 		t.Fatal("parent's middle anon wrong")
 	}
-	s.big.Unlock()
+	parent.m.mu.Unlock()
 
 	// Child writes right page: child holds the only reference to the
 	// original amap, so needs-copy clears WITHOUT a new amap (Figure 3's
 	// final panel) and anon 3 lands in it.
 	amapsBefore := m.Stats.Get("uvm.amap.alloc")
 	child.WriteBytes(va+2*param.PageSize, []byte{3})
-	s.big.Lock()
+	parent.m.mu.Lock()
 	if m.Stats.Get("uvm.amap.alloc") != amapsBefore {
 		t.Fatal("child allocated a new amap despite sole reference")
 	}
@@ -365,7 +365,7 @@ func TestFigure3Sequence(t *testing.T) {
 	if ce.amap.impl.get(ce.amapOff+2) == nil {
 		t.Fatal("anon 3 missing")
 	}
-	s.big.Unlock()
+	parent.m.mu.Unlock()
 
 	// Data checks mirror the figure.
 	b := make([]byte, 1)
@@ -837,7 +837,6 @@ func TestDevicePager(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := newProc(t, s, "p")
-	s.big.Lock()
 	p.m.lock()
 	va, _ := p.m.findSpace(0, 2*param.PageSize)
 	e := s.allocEntry(p.m)
@@ -846,7 +845,6 @@ func TestDevicePager(t *testing.T) {
 	e.prot, e.maxProt = param.ProtRead, param.ProtRX
 	p.m.insert(e)
 	p.m.unlock()
-	s.big.Unlock()
 
 	b := make([]byte, 1)
 	for i := 0; i < 2; i++ {
@@ -966,9 +964,9 @@ func TestMapIntegrityAndLeaksUnderRandomOps(t *testing.T) {
 				p.Sysctl(r.va, param.PageSize)
 			}
 		}
-		s.big.Lock()
+		p.m.mu.Lock()
 		err := p.m.checkIntegrity()
-		s.big.Unlock()
+		p.m.mu.Unlock()
 		if err != nil {
 			t.Fatalf("step %d: %v", step, err)
 		}

@@ -20,32 +20,54 @@ import (
 // disturb maps (plus the i386 page-table path).
 
 // wirePagesNoMap faults the range resident and wires the pages via the
-// pmap and page structures only — the map is never touched.
+// pmap and page structures only — the map is never touched. Each page is
+// wired under its owner's lock after re-verifying the mapping, so a
+// concurrent pageout between the fault and the wire retries cleanly.
 func (p *Process) wirePagesNoMap(start, end param.VAddr) error {
+	s := p.sys
 	for va := start; va < end; va += param.PageSize {
-		if _, ok := p.pm.Lookup(va); !ok {
-			if err := p.sys.fault(p, va, param.ProtRead); err != nil {
-				return err
+		wired := false
+		for attempt := 0; attempt < 16 && !wired; attempt++ {
+			pte, ok := p.pm.Lookup(va)
+			if !ok || pte.Page == nil {
+				if err := s.fault(p, va, param.ProtRead); err != nil {
+					return err
+				}
+				continue
 			}
+			pg := pte.Page
+			release, ok := s.lockPageOwner(pg)
+			if !ok {
+				continue
+			}
+			if pte2, still := p.pm.Lookup(va); !still || pte2.Page != pg {
+				release()
+				continue
+			}
+			pg.WireCount.Add(1)
+			s.mach.Mem.Dequeue(pg)
+			release()
+			p.pm.ChangeWiring(va, true)
+			wired = true
 		}
-		pte, ok := p.pm.Lookup(va)
-		if !ok || pte.Page == nil {
+		if !wired {
 			return vmapi.ErrFault
 		}
-		pte.Page.WireCount++
-		p.sys.mach.Mem.Dequeue(pte.Page)
-		p.pm.ChangeWiring(va, true)
 	}
 	return nil
 }
 
 // unwirePagesNoMap reverses wirePagesNoMap.
 func (p *Process) unwirePagesNoMap(start, end param.VAddr) {
+	s := p.sys
 	for va := start; va < end; va += param.PageSize {
-		if pte, ok := p.pm.Lookup(va); ok && pte.Page != nil && pte.Page.WireCount > 0 {
-			pte.Page.WireCount--
-			if pte.Page.WireCount == 0 {
-				p.sys.mach.Mem.Activate(pte.Page)
+		if pte, ok := p.pm.Lookup(va); ok && pte.Page != nil {
+			pg := pte.Page
+			if release, ok := s.lockPageOwner(pg); ok {
+				if pg.WireCount.Load() > 0 && pg.WireCount.Add(-1) == 0 {
+					s.mach.Mem.Activate(pg)
+				}
+				release()
 			}
 		}
 		p.pm.ChangeWiring(va, false)
@@ -57,22 +79,20 @@ func (p *Process) unwirePagesNoMap(start, end param.VAddr) {
 // kernel stack — the map is untouched and no entry fragmentation occurs
 // (§3.2).
 func (p *Process) Sysctl(addr param.VAddr, length param.VSize) error {
-	if p.exited {
+	if p.exited.Load() {
 		return vmapi.ErrExited
 	}
 	s := p.sys
-	s.big.Lock()
-	defer s.big.Unlock()
 	start, end := param.Trunc(addr), param.Round(addr+param.VAddr(length))
 	if err := p.wirePagesNoMap(start, end); err != nil {
 		return err
 	}
-	p.kstackWires = append(p.kstackWires, struct{ start, end param.VAddr }{start, end})
+	p.pushKstackWire(start, end)
 
 	// The kernel copies the result out to the wired buffer.
 	s.mach.Clock.ChargeN(param.Pages(param.VSize(end-start)), s.mach.Costs.PageTouch)
 
-	p.kstackWires = p.kstackWires[:len(p.kstackWires)-1]
+	p.popKstackWire()
 	p.unwirePagesNoMap(start, end)
 	return nil
 }
@@ -80,37 +100,44 @@ func (p *Process) Sysctl(addr param.VAddr, length param.VSize) error {
 // Physio implements vmapi.Process: raw device I/O with the buffer wired
 // through the kernel stack record, not the map (§3.2).
 func (p *Process) Physio(addr param.VAddr, length param.VSize) error {
-	if p.exited {
+	if p.exited.Load() {
 		return vmapi.ErrExited
 	}
 	s := p.sys
-	s.big.Lock()
-	defer s.big.Unlock()
 	start, end := param.Trunc(addr), param.Round(addr+param.VAddr(length))
 	if err := p.wirePagesNoMap(start, end); err != nil {
 		return err
 	}
-	p.kstackWires = append(p.kstackWires, struct{ start, end param.VAddr }{start, end})
+	p.pushKstackWire(start, end)
 
 	npages := param.Pages(param.VSize(end - start))
 	s.mach.Clock.Advance(s.mach.Costs.DiskOp)
 	s.mach.Clock.ChargeN(npages, s.mach.Costs.DiskPageIO)
 
-	p.kstackWires = p.kstackWires[:len(p.kstackWires)-1]
+	p.popKstackWire()
 	p.unwirePagesNoMap(start, end)
 	return nil
+}
+
+func (p *Process) pushKstackWire(start, end param.VAddr) {
+	p.wireMu.Lock()
+	p.kstackWires = append(p.kstackWires, struct{ start, end param.VAddr }{start, end})
+	p.wireMu.Unlock()
+}
+
+func (p *Process) popKstackWire() {
+	p.wireMu.Lock()
+	p.kstackWires = p.kstackWires[:len(p.kstackWires)-1]
+	p.wireMu.Unlock()
 }
 
 // Mlock implements vmapi.Process: the one wiring path where the wired
 // state must live in the map (so it survives arbitrary later syscalls),
 // and therefore the one path that fragments UVM map entries too.
 func (p *Process) Mlock(addr param.VAddr, length param.VSize) error {
-	if p.exited {
+	if p.exited.Load() {
 		return vmapi.ErrExited
 	}
-	s := p.sys
-	s.big.Lock()
-	defer s.big.Unlock()
 	start, end := param.Trunc(addr), param.Round(addr+param.VAddr(length))
 
 	m := p.m
@@ -130,12 +157,9 @@ func (p *Process) Mlock(addr param.VAddr, length param.VSize) error {
 
 // Munlock implements vmapi.Process.
 func (p *Process) Munlock(addr param.VAddr, length param.VSize) error {
-	if p.exited {
+	if p.exited.Load() {
 		return vmapi.ErrExited
 	}
-	s := p.sys
-	s.big.Lock()
-	defer s.big.Unlock()
 	start, end := param.Trunc(addr), param.Round(addr+param.VAddr(length))
 
 	m := p.m

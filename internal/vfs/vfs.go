@@ -60,6 +60,24 @@ type Vnode struct {
 	OnRecycle func(*Vnode)
 }
 
+// GetVMObj returns the VM object hung on this vnode, if any. Guarded by
+// the filesystem lock: vnode recycling clears the hook concurrently with
+// VM systems consulting it.
+func (v *Vnode) GetVMObj() any {
+	v.fs.mu.Lock()
+	defer v.fs.mu.Unlock()
+	return v.VMObj
+}
+
+// SetVMObj installs (or clears, with nils) the VM object and recycle
+// hook under the filesystem lock.
+func (v *Vnode) SetVMObj(obj any, onRecycle func(*Vnode)) {
+	v.fs.mu.Lock()
+	v.VMObj = obj
+	v.OnRecycle = onRecycle
+	v.fs.mu.Unlock()
+}
+
 // Name returns the file's path name.
 func (v *Vnode) Name() string { return v.f.name }
 
