@@ -7,7 +7,8 @@
 //	uvmbench -e fig5      run a single experiment by id
 //	uvmbench -list        list experiment ids
 //
-// Experiment ids: table1 table2 table3 fig2 fig5 fig6 datamove rc.
+// Experiment ids: table1 table2 table3 fig2 fig5 fig6 datamove rc
+// scaling pressure.
 package main
 
 import (

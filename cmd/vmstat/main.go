@@ -45,6 +45,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vmstat: %v\n", err)
 		os.Exit(1)
 	}
+	// Stop the pagedaemon before reading the counters so the report is a
+	// quiescent snapshot.
+	sys.Shutdown()
 
 	fmt.Printf("system: %s  scenario: %s\n", sys.Name(), *scenario)
 	fmt.Printf("simulated time: %v\n", mach.Clock.Now())

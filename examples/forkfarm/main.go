@@ -1,4 +1,4 @@
-// Forkfarm: the §5 comparison made visible. A parent with a dirty
+// Command forkfarm is the §5 comparison made visible. A parent with a dirty
 // anonymous region forks workers in a loop; each worker rewrites the
 // region and exits. Under BSD VM this grows shadow-object chains that the
 // collapse operation must constantly repair (and which leak swap if it

@@ -1,4 +1,4 @@
-// Quickstart: boot a simulated machine, run UVM on it, and exercise the
+// Command quickstart boots a simulated machine, runs UVM on it, and exercises the
 // basic API — file mapping, copy-on-write, fork isolation, and paging.
 //
 //	go run ./examples/quickstart

@@ -1,4 +1,4 @@
-// Shmipc: System V shared memory (shmget/shmat/shmdt) — one of the §5
+// Command shmipc demonstrates System V shared memory (shmget/shmat/shmdt) — one of the §5
 // consumers of anonymous memory — used for a producer/consumer ring
 // buffer between two processes, on both VM systems.
 //

@@ -1,4 +1,4 @@
-// Webserver: the paper's §4 motivating scenario. An Apache-style server
+// Command webserver runs the paper's §4 motivating scenario. An Apache-style server
 // transmits files by memory mapping them and touching every byte. When
 // the working set exceeds BSD VM's 100-object cache, BSD VM falls to
 // disk speed even though memory is free; UVM — whose file pages live and

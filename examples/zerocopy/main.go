@@ -1,4 +1,4 @@
-// Zerocopy: the three §7 data movement mechanisms, used together as an
+// Command zerocopy exercises the three §7 data movement mechanisms, used together as an
 // IPC pipeline. A producer builds a message in its address space and
 // moves it to a consumer three ways: classic double copy, page loanout +
 // page transfer (zero copy, COW preserved), and map entry passing.

@@ -113,6 +113,11 @@ func (s *System) Name() string { return "bsdvm" }
 // Machine implements vmapi.System.
 func (s *System) Machine() *vmapi.Machine { return s.mach }
 
+// Shutdown implements vmapi.System. The big-lock baseline starts no
+// kernel threads — its pagedaemon runs inline in allocating goroutines,
+// faithful to the paper-era system — so there is nothing to stop.
+func (s *System) Shutdown() {}
+
 // KernelAlloc implements vmapi.System: each boot-time wired allocation
 // consumes a fresh kernel map entry — BSD VM never coalesces.
 func (s *System) KernelAlloc(npages int, prot param.Prot) (param.VAddr, error) {

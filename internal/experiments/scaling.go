@@ -113,11 +113,13 @@ func scalingRun(name string, boot vmapi.Booter, workers int) (ScalingPoint, erro
 	wg.Wait()
 	wall := time.Since(start)
 	if firstErr != nil {
+		sys.Shutdown()
 		return ScalingPoint{}, firstErr
 	}
 	for _, p := range procs {
 		p.Exit()
 	}
+	sys.Shutdown()
 
 	total := int64(workers) * scalingFaultsPerWorker
 	return ScalingPoint{

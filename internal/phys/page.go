@@ -17,6 +17,12 @@
 // identical to a single global queue, which keeps single-threaded
 // simulations deterministic and bit-for-bit comparable across runs.
 //
+// The free-page count is a lock-free atomic maintained by Alloc and
+// Free, so watermark checks never touch the shard locks. SetLowWater
+// registers a wakeup callback fired from Alloc whenever the count drops
+// below the low-water mark; this is how the asynchronous pagedaemon is
+// woken ahead of actual exhaustion.
+//
 // Page state bits (Dirty, Referenced, Busy, WireCount, LoanCount) are
 // atomics: they are read lock-free by queue scans while being written
 // under the owning VM structure's lock. Page *identity* (Owner, Off) is
@@ -201,6 +207,10 @@ type Mem struct {
 
 	seqCtr      atomic.Uint64 // global LRU stamp source
 	allocCursor atomic.Uint64 // round-robin shard hint for Alloc
+
+	freeCnt  atomic.Int64 // lock-free free-list size (watermark reads)
+	lowWater atomic.Int64 // free-page threshold that fires lowWake
+	lowWake  atomic.Value // func(): pagedaemon doorbell, must not block
 }
 
 // NewMem boots a machine with npages page frames. All frame data buffers
@@ -220,7 +230,20 @@ func NewMem(clock *sim.Clock, costs *sim.Costs, stats *sim.Stats, npages int) *M
 		p.queue = QueueFree
 		m.shards[p.home].free.pushTail(p)
 	}
+	m.freeCnt.Store(int64(npages))
 	return m
+}
+
+// SetLowWater registers a low-water mark and a wakeup callback: whenever
+// an allocation leaves fewer than pages frames free, wake is called from
+// Alloc (with no queue locks held). wake must be cheap and non-blocking —
+// the pagedaemon's doorbell is a non-blocking channel send. Passing 0
+// disables the watermark.
+func (m *Mem) SetLowWater(pages int, wake func()) {
+	m.lowWater.Store(int64(pages))
+	if wake != nil {
+		m.lowWake.Store(wake)
+	}
 }
 
 func (m *Mem) shardOf(p *Page) *memShard { return &m.shards[p.home] }
@@ -228,17 +251,9 @@ func (m *Mem) shardOf(p *Page) *memShard { return &m.shards[p.home] }
 // TotalPages returns the amount of physical memory in pages.
 func (m *Mem) TotalPages() int { return m.total }
 
-// FreePages returns the current size of the free list.
-func (m *Mem) FreePages() int {
-	n := 0
-	for i := range m.shards {
-		sh := &m.shards[i]
-		sh.mu.Lock()
-		n += sh.free.n
-		sh.mu.Unlock()
-	}
-	return n
-}
+// FreePages returns the current size of the free list. It reads the
+// lock-free counter, so watermark polls never contend with allocators.
+func (m *Mem) FreePages() int { return int(m.freeCnt.Load()) }
 
 // ActivePages and InactivePages return the queue depths.
 func (m *Mem) ActivePages() int {
@@ -285,6 +300,11 @@ func (m *Mem) Alloc(owner any, off param.PageOff, zero bool) (*Page, error) {
 	if p == nil {
 		return nil, ErrNoMemory
 	}
+	if free := m.freeCnt.Add(-1); free < m.lowWater.Load() {
+		if wake, ok := m.lowWake.Load().(func()); ok {
+			wake()
+		}
+	}
 	m.clock.Advance(m.costs.PageAlloc)
 	p.SetOwner(owner, off)
 	p.Dirty.Store(false)
@@ -316,6 +336,7 @@ func (m *Mem) Free(p *Page) {
 	p.queue = QueueFree
 	sh.free.pushTail(p)
 	sh.mu.Unlock()
+	m.freeCnt.Add(1)
 }
 
 // Zero clears a frame's data, charging the zeroing cost.
@@ -506,4 +527,16 @@ func (m *Mem) RefillInactive(n int) int {
 		moved++
 	}
 	return moved
+}
+
+// FreeListLen counts the free lists directly (debug helper).
+func (m *Mem) FreeListLen() int {
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		n += sh.free.n
+		sh.mu.Unlock()
+	}
+	return n
 }

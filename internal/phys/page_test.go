@@ -3,6 +3,7 @@ package phys
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -367,5 +368,70 @@ func TestPageDataDistinct(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestLowWaterWakeFires(t *testing.T) {
+	m := newTestMem(16)
+	var fired atomic.Int32
+	m.SetLowWater(8, func() { fired.Add(1) })
+	var pages []*Page
+	// Draining down to (but not below) the mark must stay silent: the
+	// callback fires when free < low, i.e. from the 9th allocation on.
+	for i := 0; i < 8; i++ {
+		p, err := m.Alloc(nil, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages = append(pages, p)
+	}
+	if fired.Load() != 0 {
+		t.Fatalf("wake fired %d times above the mark", fired.Load())
+	}
+	p, err := m.Alloc(nil, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages = append(pages, p)
+	if fired.Load() == 0 {
+		t.Fatal("wake did not fire below the low-water mark")
+	}
+	// Freeing back above the mark silences it again.
+	for _, p := range pages {
+		m.Free(p)
+	}
+	n := fired.Load()
+	q, err := m.Alloc(nil, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Free(q)
+	if fired.Load() != n {
+		t.Fatal("wake fired with plenty of memory free")
+	}
+}
+
+func TestFreeCountTracksAllocFree(t *testing.T) {
+	m := newTestMem(32)
+	var pages []*Page
+	for i := 0; i < 20; i++ {
+		p, err := m.Alloc(nil, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages = append(pages, p)
+		if got := m.FreePages(); got != 32-i-1 {
+			t.Fatalf("after %d allocs: free=%d", i+1, got)
+		}
+	}
+	for i, p := range pages {
+		m.Free(p)
+		if got := m.FreePages(); got != 12+i+1 {
+			t.Fatalf("after %d frees: free=%d", i+1, got)
+		}
+	}
+	// The lock-free counter must agree with the actual lists.
+	if m.FreePages() != m.FreeListLen() {
+		t.Fatalf("counter %d != free lists %d", m.FreePages(), m.FreeListLen())
 	}
 }

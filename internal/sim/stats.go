@@ -135,4 +135,13 @@ const (
 	CtrSwapIOs         = "swap.ios"
 	CtrLoanouts        = "uvm.loanouts"
 	CtrTransfers       = "uvm.transfers"
+
+	// Asynchronous pagedaemon counters (internal/uvm/pdaemon.go).
+	CtrPdFreed      = "uvm.pdaemon.freed"      // pages freed by reclaim
+	CtrPdClusters   = "uvm.pdaemon.clusters"   // clustered pageout I/Os
+	CtrPdReassigned = "uvm.pdaemon.reassigned" // swap slots reassigned
+	CtrPdRounds     = "uvm.pdaemon.rounds"     // daemon reclaim rounds
+	CtrPdWakeups    = "uvm.pdaemon.wakeups"    // doorbell rings delivered
+	CtrPdBlocked    = "uvm.pdaemon.blocked"    // allocators that had to wait
+	CtrPdDirect     = "uvm.pdaemon.direct"     // direct-reclaim fallbacks
 )

@@ -1,5 +1,5 @@
-// Package swap implements the swap partition: a slot allocator over a
-// simulated disk plus page-granular I/O.
+// Package swap implements the swap partition: a slot allocator over one
+// or more simulated disks plus page-granular I/O.
 //
 // Two allocation modes exist because the two VM systems place pages on
 // swap differently (paper §6). BSD VM assigns a page's swap location once,
@@ -8,12 +8,31 @@
 // memory's backing location as reassignable: the pagedaemon calls
 // AllocContig to get a fresh run of slots for a whole dirty cluster, frees
 // the pages' old slots, and writes the cluster with a single I/O.
+//
+// # Concurrency
+//
+// The allocator is sharded so that it is never a serialisation point on
+// the pageout path: each device's slot space is split into contiguous
+// shards, each with its own mutex, free-slot bitmap and next-fit hint.
+// Concurrent reclaim — the asynchronous pagedaemon plus any goroutines in
+// the direct-reclaim fallback — lands on different shards via a
+// round-robin cursor and proceeds without contention. The global in-use
+// count is a lock-free atomic, so capacity checks and accounting never
+// take a lock at all. Devices small enough for a single shard (everything
+// under minShardSlots×2) behave exactly like the classic single-mutex
+// next-fit allocator, which keeps small deterministic simulations
+// bit-for-bit stable.
+//
+// A cluster never spans a shard (and therefore never spans a device): a
+// cluster must go out in one I/O to one disk, and shards are sized far
+// above the largest pageout cluster.
 package swap
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"uvm/internal/disk"
 	"uvm/internal/sim"
@@ -27,13 +46,160 @@ var ErrNoSwap = errors.New("swap: out of swap space")
 // NoSlot marks "no swap location assigned".
 const NoSlot int64 = -1
 
+const (
+	// maxShardsPerDevice bounds the shard count: enough to spread
+	// concurrent reclaim, few enough that a full-device scan stays cheap.
+	maxShardsPerDevice = 8
+	// minShardSlots is the smallest shard worth splitting for. It is far
+	// above the largest pageout cluster (64 pages), so sharding never
+	// makes a satisfiable AllocContig fail.
+	minShardSlots = 1024
+)
+
+// shard is one contiguous slice of a device's slot space with its own
+// lock, bitmap and next-fit hint.
+type shard struct {
+	base int64 // global slot number of this shard's first slot
+	size int64
+
+	mu    sync.Mutex
+	inUse []bool
+	nFree int64
+	hint  int64 // next-fit start point, relative to the shard
+}
+
+// alloc next-fit scans the shard for a run of n free slots and returns
+// the global slot number of the first.
+func (sh *shard) alloc(n int64) (int64, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if n > sh.size || sh.nFree < n {
+		return NoSlot, false
+	}
+	start := sh.hint
+	if start+n > sh.size {
+		start = 0
+	}
+	wrapped := false
+	for {
+		if start+n > sh.size {
+			if wrapped {
+				return NoSlot, false
+			}
+			wrapped = true
+			start = 0
+			continue
+		}
+		run := int64(0)
+		for run < n && !sh.inUse[start+run] {
+			run++
+		}
+		if run == n {
+			for i := int64(0); i < n; i++ {
+				sh.inUse[start+i] = true
+			}
+			sh.nFree -= n
+			sh.hint = start + n
+			return sh.base + start, true
+		}
+		start += run + 1
+		if wrapped && start >= sh.size {
+			return NoSlot, false
+		}
+	}
+}
+
+// freeRange releases n consecutive slots starting at offset off within
+// the shard, under one lock acquisition.
+func (sh *shard) freeRange(off, n int64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for i := int64(0); i < n; i++ {
+		if !sh.inUse[off+i] {
+			panic(fmt.Sprintf("swap: double free of slot %d", sh.base+off+i))
+		}
+		sh.inUse[off+i] = false
+	}
+	sh.nFree += n
+}
+
 // device is one configured swap device: a slice [base, base+size) of the
-// global slot space backed by a disk.
+// global slot space backed by a disk, split into shards.
 type device struct {
 	dev      *disk.Disk
 	priority int // lower value = preferred, as in swapctl(8)
 	base     int64
 	size     int64
+
+	shards    []*shard
+	shardSize int64         // size of every shard but the last
+	cursor    atomic.Uint64 // round-robin start shard for allocations
+}
+
+// shardCount picks the number of shards for a device of the given size:
+// the largest power of two up to maxShardsPerDevice that keeps every
+// shard at least minShardSlots long.
+func shardCount(size int64) int {
+	n := 1
+	for n < maxShardsPerDevice && size/int64(n*2) >= minShardSlots {
+		n *= 2
+	}
+	return n
+}
+
+func newDevice(dev *disk.Disk, priority int, base int64) *device {
+	size := dev.Blocks()
+	d := &device{dev: dev, priority: priority, base: base, size: size}
+	k := shardCount(size)
+	d.shardSize = size / int64(k)
+	for i := 0; i < k; i++ {
+		lo := int64(i) * d.shardSize
+		hi := lo + d.shardSize
+		if i == k-1 {
+			hi = size // last shard absorbs the remainder
+		}
+		d.shards = append(d.shards, &shard{
+			base:  base + lo,
+			size:  hi - lo,
+			inUse: make([]bool, hi-lo),
+			nFree: hi - lo,
+		})
+	}
+	return d
+}
+
+// shardFor returns the shard owning a slot local offset off.
+func (d *device) shardFor(off int64) *shard {
+	idx := off / d.shardSize
+	if idx >= int64(len(d.shards)) {
+		idx = int64(len(d.shards)) - 1
+	}
+	return d.shards[idx]
+}
+
+// alloc finds a run of n slots somewhere on the device. Multi-shard
+// devices rotate the starting shard so concurrent allocators spread out;
+// single-shard devices keep the classic deterministic next-fit order.
+func (d *device) alloc(n int64) (int64, bool) {
+	k := len(d.shards)
+	start := 0
+	if k > 1 {
+		start = int(d.cursor.Add(1)-1) % k
+	}
+	for i := 0; i < k; i++ {
+		if slot, ok := d.shards[(start+i)%k].alloc(n); ok {
+			return slot, true
+		}
+	}
+	return NoSlot, false
+}
+
+// topo is an immutable snapshot of the configured devices. Allocation,
+// free and I/O paths read it without locking; AddDevice publishes a new
+// snapshot.
+type topo struct {
+	devices []*device // configuration order (ascending base)
+	byPrio  []*device // stable-sorted by priority
 }
 
 // Swap is the swap subsystem: one or more prioritised swap devices
@@ -43,16 +209,17 @@ type Swap struct {
 	costs *sim.Costs
 	stats *sim.Stats
 
-	mu      sync.Mutex
-	devices []*device // sorted by priority, then configuration order
-	inUse   []bool
-	nInUse  int
-	hint    int64 // next-fit start point
+	mu   sync.Mutex // serialises AddDevice only
+	devs atomic.Pointer[topo]
+
+	nSlots atomic.Int64
+	nInUse atomic.Int64 // lock-free in-use count across all shards
 }
 
 // New creates a swap subsystem with one device of priority 0 spanning dev.
 func New(clock *sim.Clock, costs *sim.Costs, stats *sim.Stats, dev *disk.Disk) *Swap {
 	s := &Swap{clock: clock, costs: costs, stats: stats}
+	s.devs.Store(&topo{})
 	s.AddDevice(dev, 0)
 	return s
 }
@@ -64,22 +231,45 @@ func New(clock *sim.Clock, costs *sim.Costs, stats *sim.Stats, dev *disk.Disk) *
 func (s *Swap) AddDevice(dev *disk.Disk, priority int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	d := &device{dev: dev, priority: priority, base: int64(len(s.inUse)), size: dev.Blocks()}
-	s.devices = append(s.devices, d)
-	s.inUse = append(s.inUse, make([]bool, dev.Blocks())...)
+	old := s.devs.Load()
+	d := newDevice(dev, priority, s.nSlots.Load())
+
+	t := &topo{
+		devices: append(append([]*device(nil), old.devices...), d),
+		byPrio:  append(append([]*device(nil), old.byPrio...), d),
+	}
+	// Stable insertion sort by priority (device count is tiny).
+	for i := 1; i < len(t.byPrio); i++ {
+		for j := i; j > 0 && t.byPrio[j].priority < t.byPrio[j-1].priority; j-- {
+			t.byPrio[j], t.byPrio[j-1] = t.byPrio[j-1], t.byPrio[j]
+		}
+	}
+	// Grow the slot space before publishing the topology: a slot can only
+	// be handed out after the topo store, and by then every bounds check
+	// (Free, InUse) already covers it. The reverse order would open a
+	// window where a freshly allocated slot looks out-of-range.
+	s.nSlots.Add(d.size)
+	s.devs.Store(t)
 	s.stats.Inc("swap.devices")
+	s.stats.Add("swap.shards", int64(len(d.shards)))
 }
 
 // Devices returns the number of configured swap devices.
-func (s *Swap) Devices() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.devices)
+func (s *Swap) Devices() int { return len(s.devs.Load().devices) }
+
+// Shards returns the total shard count across all devices (test/debug
+// helper).
+func (s *Swap) Shards() int {
+	n := 0
+	for _, d := range s.devs.Load().devices {
+		n += len(d.shards)
+	}
+	return n
 }
 
 // deviceFor returns the device owning a global slot.
 func (s *Swap) deviceFor(slot int64) *device {
-	for _, d := range s.devices {
+	for _, d := range s.devs.Load().devices {
 		if slot >= d.base && slot < d.base+d.size {
 			return d
 		}
@@ -88,14 +278,10 @@ func (s *Swap) deviceFor(slot int64) *device {
 }
 
 // Slots returns the total slot count across all devices.
-func (s *Swap) Slots() int64 { return int64(len(s.inUse)) }
+func (s *Swap) Slots() int64 { return s.nSlots.Load() }
 
 // SlotsInUse returns how many slots are currently allocated.
-func (s *Swap) SlotsInUse() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.nInUse
-}
+func (s *Swap) SlotsInUse() int { return int(s.nInUse.Load()) }
 
 // Alloc reserves a single slot.
 func (s *Swap) Alloc() (int64, error) {
@@ -107,97 +293,54 @@ func (s *Swap) Alloc() (int64, error) {
 }
 
 // AllocContig reserves n contiguous slots and returns the first. The run
-// never spans devices (a cluster must go out in one I/O to one disk);
-// devices are tried in priority order, each with a next-fit scan.
-// Contiguity is what lets UVM page a whole cluster out in one operation.
+// never spans shards or devices (a cluster must go out in one I/O to one
+// disk); devices are tried in priority order, shards round-robin within a
+// device, each with a next-fit scan. Contiguity is what lets UVM page a
+// whole cluster out in one operation.
 func (s *Swap) AllocContig(n int) (int64, error) {
 	if n <= 0 {
 		return NoSlot, fmt.Errorf("swap: bad cluster size %d", n)
 	}
 	s.clock.ChargeN(n, s.costs.SwapSlotAlloc)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-
-	if int64(s.nInUse)+int64(n) > int64(len(s.inUse)) {
+	if s.nInUse.Load()+int64(n) > s.nSlots.Load() {
 		return NoSlot, ErrNoSwap
 	}
-	// Stable priority order: sort lazily each call (device count is tiny).
-	ordered := make([]*device, len(s.devices))
-	copy(ordered, s.devices)
-	for i := 1; i < len(ordered); i++ {
-		for j := i; j > 0 && ordered[j].priority < ordered[j-1].priority; j-- {
-			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
-		}
-	}
-	for _, d := range ordered {
-		if slot, ok := s.allocWithinLocked(d, int64(n)); ok {
+	for _, d := range s.devs.Load().byPrio {
+		if slot, ok := d.alloc(int64(n)); ok {
+			s.nInUse.Add(int64(n))
+			s.stats.Add(sim.CtrSwapSlotsLive, int64(n))
 			return slot, nil
 		}
 	}
 	return NoSlot, ErrNoSwap
 }
 
-// allocWithinLocked next-fit scans one device for a run of n free slots.
-func (s *Swap) allocWithinLocked(d *device, n int64) (int64, bool) {
-	if n > d.size {
-		return NoSlot, false
-	}
-	start := d.base
-	if s.hint >= d.base && s.hint < d.base+d.size {
-		start = s.hint
-	}
-	end := d.base + d.size
-	wrapped := false
-	for {
-		if start+n > end {
-			if wrapped {
-				return NoSlot, false
-			}
-			wrapped = true
-			start = d.base
-			continue
-		}
-		run := int64(0)
-		for run < n && !s.inUse[start+run] {
-			run++
-		}
-		if run == n {
-			for i := int64(0); i < n; i++ {
-				s.inUse[start+i] = true
-			}
-			s.nInUse += int(n)
-			s.hint = start + n
-			s.stats.Add(sim.CtrSwapSlotsLive, n)
-			return start, true
-		}
-		start += run + 1
-		if wrapped && start >= d.base+d.size {
-			return NoSlot, false
-		}
-	}
-}
-
 // Free releases one slot.
 func (s *Swap) Free(slot int64) { s.FreeRange(slot, 1) }
 
-// FreeRange releases n consecutive slots starting at slot.
+// FreeRange releases n consecutive slots starting at slot. The range is
+// freed one shard-resident run at a time, each under a single lock
+// acquisition — a pageout cluster, which never spans a shard, frees
+// atomically.
 func (s *Swap) FreeRange(slot int64, n int) {
 	if slot == NoSlot {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for i := int64(0); i < int64(n); i++ {
-		idx := slot + i
-		if idx < 0 || idx >= int64(len(s.inUse)) {
-			panic(fmt.Sprintf("swap: freeing out-of-range slot %d", idx))
-		}
-		if !s.inUse[idx] {
-			panic(fmt.Sprintf("swap: double free of slot %d", idx))
-		}
-		s.inUse[idx] = false
-		s.nInUse--
+	if slot < 0 || slot+int64(n) > s.nSlots.Load() {
+		panic(fmt.Sprintf("swap: freeing out-of-range slots [%d,%d)", slot, slot+int64(n)))
 	}
+	for left := int64(n); left > 0; {
+		d := s.deviceFor(slot)
+		sh := d.shardFor(slot - d.base)
+		run := sh.base + sh.size - slot // slots of the range inside this shard
+		if run > left {
+			run = left
+		}
+		sh.freeRange(slot-sh.base, run)
+		slot += run
+		left -= run
+	}
+	s.nInUse.Add(-int64(n))
 	s.stats.Add(sim.CtrSwapSlotsLive, -int64(n))
 }
 
@@ -229,7 +372,12 @@ func (s *Swap) WriteCluster(start int64, bufs [][]byte) error {
 
 // InUse reports whether a slot is allocated (test/debug helper).
 func (s *Swap) InUse(slot int64) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return slot >= 0 && slot < int64(len(s.inUse)) && s.inUse[slot]
+	if slot < 0 || slot >= s.nSlots.Load() {
+		return false
+	}
+	d := s.deviceFor(slot)
+	sh := d.shardFor(slot - d.base)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.inUse[slot-sh.base]
 }

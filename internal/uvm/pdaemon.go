@@ -1,6 +1,9 @@
 package uvm
 
 import (
+	"errors"
+	"sync"
+
 	"uvm/internal/param"
 	"uvm/internal/phys"
 	"uvm/internal/sim"
@@ -8,20 +11,234 @@ import (
 	"uvm/internal/vmapi"
 )
 
-// allocPage allocates a page frame, waking the pagedaemon on shortage.
+// Sentinel results of waiting on the pagedaemon; both send the allocator
+// down the direct-reclaim fallback path.
+var (
+	errPdStalled  = errors.New("uvm: pagedaemon reclaim round freed nothing")
+	errPdShutdown = errors.New("uvm: pagedaemon has shut down")
+)
+
+// pagedaemon is UVM's asynchronous pageout daemon: one goroutine per
+// booted System that reclaims memory so allocating goroutines do not
+// have to.
+//
+// Wakeup protocol:
+//
+//  1. phys.Mem calls kick (via the low-water callback) whenever an
+//     allocation leaves fewer than `low` pages free. kick is a
+//     non-blocking send on a 1-buffered doorbell channel, so it is safe
+//     from any context and coalesces redundant wakeups.
+//  2. An allocator that finds the free list empty registers as a waiter
+//     and blocks on the condition variable in waitForFree; the daemon
+//     broadcasts after every completed reclaim round.
+//  3. The daemon reclaims toward the high watermark (2×low) per round
+//     and re-kicks itself while it is making progress below the low
+//     mark, so it normally runs ahead of allocators and they never block
+//     at all.
+//  4. A round that frees nothing does not re-kick: the waiters are told
+//     (errPdStalled) and fall back to reclaiming directly, which
+//     tolerates owners locked by the waiting goroutine itself the same
+//     way the daemon does (TryLock + skip).
+//
+// Shutdown (System.Shutdown) marks the daemon, broadcasts so blocked
+// allocators unwedge immediately, and joins the goroutine. The System
+// stays usable afterwards — allocPage degrades to inline reclaim — so
+// teardown ordering is forgiving.
+type pagedaemon struct {
+	s    *System
+	low  int // wake the daemon when free pages drop below this
+	high int // each round reclaims toward this free-page target
+
+	wake chan struct{} // doorbell; buffered(1), rung by kick
+	done chan struct{} // closed when the daemon goroutine exits
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signalled after every completed round
+	gen      uint64     // completed reclaim rounds
+	genFreed int        // pages freed by the most recent round
+	waiters  int        // allocators currently blocked in waitForFree
+	shutdown bool
+
+	// gate, when non-nil, runs before each reclaim round. Test hook: it
+	// lets the shutdown-while-blocked and wakeup tests hold the daemon
+	// in a known state. Must be set before the first allocation.
+	gate func()
+}
+
+func newPagedaemon(s *System, low int) *pagedaemon {
+	pd := &pagedaemon{
+		s:    s,
+		low:  low,
+		high: 2 * low,
+		wake: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	pd.cond = sync.NewCond(&pd.mu)
+	return pd
+}
+
+// kick rings the daemon's doorbell. Non-blocking and lock-free, so it is
+// safe from the phys.Mem low-water callback inside page allocation and
+// from any goroutine holding VM locks.
+func (pd *pagedaemon) kick() {
+	select {
+	case pd.wake <- struct{}{}:
+		pd.s.mach.Stats.Inc(sim.CtrPdWakeups)
+	default:
+	}
+}
+
+func (pd *pagedaemon) stopping() bool {
+	pd.mu.Lock()
+	defer pd.mu.Unlock()
+	return pd.shutdown
+}
+
+// run is the daemon goroutine: sleep on the doorbell, reclaim toward the
+// high watermark, wake any blocked allocators, repeat.
+func (pd *pagedaemon) run() {
+	defer close(pd.done)
+	for {
+		<-pd.wake
+		if pd.stopping() {
+			return
+		}
+		if gate := pd.gate; gate != nil {
+			gate()
+			if pd.stopping() {
+				return
+			}
+		}
+		free := pd.s.mach.Mem.FreePages()
+		if free >= pd.low {
+			pd.mu.Lock()
+			if pd.waiters == 0 {
+				// Spurious wakeup: no one waiting and memory is fine.
+				pd.mu.Unlock()
+				continue
+			}
+			// Waiters raced a round that already refilled the free list
+			// (their Alloc failed before it completed): report the round
+			// without evicting anything more.
+			pd.gen++
+			pd.genFreed = free
+			pd.cond.Broadcast()
+			pd.mu.Unlock()
+			continue
+		}
+		target := pd.high - free
+		if target < pd.s.cfg.ReclaimBatch {
+			target = pd.s.cfg.ReclaimBatch
+		}
+		freed := pd.s.reclaimCount(target)
+		pd.s.mach.Stats.Inc(sim.CtrPdRounds)
+
+		pd.mu.Lock()
+		pd.gen++
+		pd.genFreed = freed
+		pd.cond.Broadcast()
+		pd.mu.Unlock()
+
+		// Still under pressure and making progress: run another round
+		// without waiting for the next allocation to ring the doorbell.
+		if freed > 0 && pd.s.mach.Mem.FreePages() < pd.low {
+			pd.kick()
+		}
+	}
+}
+
+// waitForFree blocks the calling allocator until the daemon completes a
+// reclaim round (or shutdown). nil means the round freed pages and the
+// allocation is worth retrying; errPdStalled/errPdShutdown mean the
+// caller should reclaim directly.
+func (pd *pagedaemon) waitForFree() error {
+	pd.s.mach.Stats.Inc(sim.CtrPdBlocked)
+	pd.mu.Lock()
+	defer pd.mu.Unlock()
+	if pd.shutdown {
+		return errPdShutdown
+	}
+	start := pd.gen
+	pd.waiters++
+	pd.kick()
+	for pd.gen == start && !pd.shutdown {
+		pd.cond.Wait()
+	}
+	pd.waiters--
+	switch {
+	case pd.gen == start: // unblocked by shutdown, not by a round
+		return errPdShutdown
+	case pd.genFreed == 0:
+		return errPdStalled
+	}
+	return nil
+}
+
+// stop shuts the daemon down: blocked allocators are released
+// immediately, then the goroutine is joined. Idempotent.
+func (pd *pagedaemon) stop() {
+	pd.mu.Lock()
+	already := pd.shutdown
+	pd.shutdown = true
+	pd.cond.Broadcast()
+	pd.mu.Unlock()
+	if !already {
+		// Ring the doorbell so a daemon asleep on it re-checks the flag.
+		select {
+		case pd.wake <- struct{}{}:
+		default:
+		}
+	}
+	<-pd.done
+}
+
+const (
+	// directReclaimLimit bounds consecutive direct-reclaim fallbacks per
+	// allocation, preserving the pre-daemon "4 attempts then deadlock"
+	// semantics for inline mode.
+	directReclaimLimit = 3
+	// allocRetryLimit is a livelock backstop: an allocator that keeps
+	// losing freshly reclaimed pages to other goroutines eventually
+	// reports deadlock rather than spinning forever.
+	allocRetryLimit = 1 << 16
+)
+
+// allocPage allocates a page frame. On shortage the allocating goroutine
+// does not reclaim inline (unless cfg.InlineReclaim): it wakes the
+// pagedaemon, blocks until a reclaim round completes, and retries.
+// Direct reclaim remains as a fallback for when the daemon cannot make
+// progress — for example when this goroutine itself holds the lock of
+// the only owner with evictable pages — and after Shutdown.
 func (s *System) allocPage(owner any, off param.PageOff, zero bool) (*phys.Page, error) {
-	for attempt := 0; ; attempt++ {
+	direct := 0
+	for attempt := 0; attempt < allocRetryLimit; attempt++ {
 		pg, err := s.mach.Mem.Alloc(owner, off, zero)
 		if err == nil {
 			return pg, nil
 		}
-		if attempt >= 3 {
+		if s.pd != nil {
+			if werr := s.pd.waitForFree(); werr == nil {
+				continue // the daemon freed pages; retry the allocation
+			}
+			// The daemon stalled or is shutting down. Memory may still
+			// have been freed since our failed attempt (by the round we
+			// raced, or by frees elsewhere): retry before escalating.
+			if pg, err := s.mach.Mem.Alloc(owner, off, zero); err == nil {
+				return pg, nil
+			}
+		}
+		// Inline mode, a stalled daemon, or shutdown: reclaim directly.
+		if direct++; direct > directReclaimLimit {
 			return nil, vmapi.ErrDeadlock
+		}
+		if s.pd != nil {
+			s.mach.Stats.Inc(sim.CtrPdDirect)
 		}
 		if rerr := s.reclaim(s.cfg.ReclaimBatch); rerr != nil {
 			return nil, rerr
 		}
 	}
+	return nil, vmapi.ErrDeadlock
 }
 
 // ownerSet tracks the anon/object locks the pagedaemon holds for pages
@@ -86,8 +303,20 @@ func (os ownerSet) releaseAll() {
 // re-referenced since the queue snapshot). Owners of clustered pages
 // stay locked until the cluster I/O completes, so a concurrent fault on
 // a page mid-pageout blocks on the anon and then pages back in from the
-// freshly assigned slot.
+// freshly assigned slot. Multiple reclaimers (the daemon plus
+// direct-reclaim fallbacks) may run at once: the TryLock/re-verify
+// protocol makes them skip each other's pages.
+//
+// reclaim reports ErrDeadlock when nothing could be freed; reclaimCount
+// is the daemon-facing variant that just returns the count.
 func (s *System) reclaim(target int) error {
+	if s.reclaimCount(target) == 0 {
+		return vmapi.ErrDeadlock
+	}
+	return nil
+}
+
+func (s *System) reclaimCount(target int) int {
 	freed := 0
 	for pass := 0; pass < 4 && freed < target; pass++ {
 		if s.mach.Mem.InactivePages() < target*2 {
@@ -212,11 +441,10 @@ func (s *System) reclaim(target int) error {
 		}
 		held.releaseAll()
 	}
-	if freed == 0 {
-		return vmapi.ErrDeadlock
+	if freed > 0 {
+		s.mach.Stats.Add(sim.CtrPdFreed, int64(freed))
 	}
-	s.mach.Stats.Add("uvm.pdaemon.freed", int64(freed))
-	return nil
+	return freed
 }
 
 // clusterPageout writes the collected dirty anonymous pages out. With
@@ -245,7 +473,7 @@ func (s *System) clusterPageout(cluster []*phys.Page) (int, error) {
 	for _, pg := range cluster {
 		s.finishPageout(pg)
 	}
-	s.mach.Stats.Inc("uvm.pdaemon.clusters")
+	s.mach.Stats.Inc(sim.CtrPdClusters)
 	s.mach.Stats.Add(sim.CtrPageOuts, int64(len(cluster)))
 	return len(cluster), nil
 }
@@ -300,7 +528,7 @@ func (s *System) setSlot(pg *phys.Page, slot int64) {
 func (s *System) reassignSlot(pg *phys.Page, slot int64) {
 	if old := s.currentSlot(pg); old != swap.NoSlot {
 		s.mach.Swap.Free(old)
-		s.mach.Stats.Inc("uvm.pdaemon.reassigned")
+		s.mach.Stats.Inc(sim.CtrPdReassigned)
 	}
 	s.setSlot(pg, slot)
 }

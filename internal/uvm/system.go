@@ -36,16 +36,25 @@
 //
 //	map -> object -> amap -> anon -> page identity -> leaf
 //
-// where "leaf" covers the pmap/MMU locks, the phys queue shards, swap,
-// vfs and disk — none of which acquire VM-layer locks. Two map locks
-// nest only parent-before-child during fork (the child is not yet
-// visible to any other goroutine). The pagedaemon acquires anon/object
-// locks only with TryLock and skips pages whose owner is busy, so it can
-// run inside any allocation path — even one that already holds map,
-// amap, anon or object locks — without deadlocking; pages it clusters
-// for pageout keep their owner locked until the I/O completes, which is
-// what makes a concurrent fault on a page mid-pageout block and then
-// cleanly page back in.
+// where "leaf" covers the pmap/MMU locks, the phys queue shards, the
+// sharded swap allocator, vfs and disk — none of which acquire VM-layer
+// locks. Two map locks nest only parent-before-child during fork (the
+// child is not yet visible to any other goroutine).
+//
+// # Pageout
+//
+// Reclaim runs in a dedicated pagedaemon goroutine (see pdaemon.go),
+// woken by phys.Mem's low-water callback; allocators that find the free
+// list empty block on the daemon's condition variable instead of
+// reclaiming inline, and retry once a reclaim round completes. Reclaim —
+// whether in the daemon or in the direct-reclaim fallback — acquires
+// anon/object locks only with TryLock and skips pages whose owner is
+// busy, so it can run concurrently with any allocation path — even one
+// that already holds map, amap, anon or object locks — without
+// deadlocking; pages clustered for pageout keep their owner locked until
+// the I/O completes, which is what makes a concurrent fault on a page
+// mid-pageout block and then cleanly page back in. System.Shutdown stops
+// the daemon gracefully, releasing any blocked allocators.
 package uvm
 
 import (
@@ -79,6 +88,14 @@ type Config struct {
 	// fault, schedule non-resident neighbour pages for pagein so nearby
 	// future faults find them resident.
 	AsyncPagein bool
+	// LowWater is the free-page threshold (in pages) at which the
+	// asynchronous pagedaemon is woken. 0 sizes it automatically from
+	// the machine: max(2×MaxCluster, total/64), capped at total/4.
+	LowWater int
+	// InlineReclaim disables the asynchronous pagedaemon: allocating
+	// goroutines reclaim inline, as both systems did before the daemon
+	// existed (ablation for the memory-pressure experiment).
+	InlineReclaim bool
 }
 
 // DefaultConfig returns UVM's standard tuning.
@@ -94,6 +111,9 @@ func DefaultConfig() Config {
 type System struct {
 	mach *vmapi.Machine
 	cfg  Config
+
+	// pd is the asynchronous pagedaemon (nil with cfg.InlineReclaim).
+	pd *pagedaemon
 
 	kmap      *vmMap
 	kentryUse atomic.Int32
@@ -130,7 +150,42 @@ func BootConfig(m *vmapi.Machine, cfg Config) *System {
 			panic("uvm: kernel boot allocation failed: " + err.Error())
 		}
 	}
+
+	if !cfg.InlineReclaim {
+		s.pd = newPagedaemon(s, s.lowWater())
+		m.Mem.SetLowWater(s.pd.low, s.pd.kick)
+		go s.pd.run()
+	}
 	return s
+}
+
+// lowWater sizes the pagedaemon's wake threshold for this machine.
+func (s *System) lowWater() int {
+	if s.cfg.LowWater > 0 {
+		return s.cfg.LowWater
+	}
+	total := s.mach.Mem.TotalPages()
+	low := 2 * s.cfg.MaxCluster
+	if low < total/64 {
+		low = total / 64
+	}
+	if low > total/4 {
+		low = total / 4
+	}
+	if low < 1 {
+		low = 1
+	}
+	return low
+}
+
+// Shutdown implements vmapi.System: it stops the pagedaemon goroutine,
+// releasing any allocators blocked on it, and waits for it to exit. The
+// system remains usable — reclaim falls back to running inline in
+// allocating goroutines — so shutdown order is forgiving. Idempotent.
+func (s *System) Shutdown() {
+	if s.pd != nil {
+		s.pd.stop()
+	}
 }
 
 // Name implements vmapi.System.

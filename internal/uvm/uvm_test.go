@@ -23,7 +23,9 @@ func testMachine(ramPages int) *vmapi.Machine {
 func bootTest(t *testing.T, ramPages int) (*System, *vmapi.Machine) {
 	t.Helper()
 	m := testMachine(ramPages)
-	return BootConfig(m, DefaultConfig()), m
+	s := BootConfig(m, DefaultConfig())
+	t.Cleanup(s.Shutdown)
+	return s, m
 }
 
 func newProc(t *testing.T, s *System, name string) *Process {

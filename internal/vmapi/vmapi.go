@@ -137,6 +137,12 @@ type System interface {
 	// TotalMapEntries returns the map entries allocated system-wide
 	// (kernel map plus every live process map) — the Table 1 metric.
 	TotalMapEntries() int
+	// Shutdown stops any background kernel threads the system started
+	// (UVM's pagedaemon) and waits for them to exit. The system remains
+	// usable afterwards — reclaim degrades to running inline in the
+	// allocating goroutine — so teardown ordering is forgiving.
+	// Idempotent; a no-op for systems with no kernel threads.
+	Shutdown()
 
 	// NewShmSegment creates a System V style shared anonymous memory
 	// segment of npages pages (§5: one of the uses of anonymous memory).

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# check-docs.sh — documentation gate, run by the CI docs job and locally.
+#
+# Fails on:
+#   1. broken relative links in any *.md file (http(s)/mailto links and
+#      pure #anchors are not checked);
+#   2. Go packages without a package comment ("// Package ..." for
+#      libraries, "// Command ..." for main packages).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+fail=0
+
+# --- 1. relative links in markdown ---------------------------------------
+while IFS= read -r md; do
+  dir=$(dirname "$md")
+  # Extract (target) parts of [text](target) links.
+  while IFS= read -r target; do
+    [ -z "$target" ] && continue
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    target=${target%%#*}         # strip in-file anchors
+    target=${target%% *}         # strip optional link titles
+    [ -z "$target" ] && continue
+    if [ ! -e "$dir/$target" ]; then
+      echo "broken link in $md: $target"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
+done < <(find . -name '*.md' -not -path './.git/*')
+
+# --- 2. package comments --------------------------------------------------
+for dir in $(go list -f '{{.Dir}}' ./...); do
+  if ! grep -qE '^// (Package|Command) ' "$dir"/*.go; then
+    echo "package $dir lacks a package comment (// Package ... or // Command ...)"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check-docs: FAILED"
+  exit 1
+fi
+echo "check-docs: OK"
