@@ -92,6 +92,9 @@ func All(quick bool) []Runner {
 		{"pressure", "Pressure: reclaim tail latency, inline vs pagedaemon (beyond the paper)", func(w io.Writer) error {
 			return ReportPressure(w, pressureWorkers(quick), iters(quick, 600, 2500))
 		}},
+		{"reclaimbw", "ReclaimBW: pageout bandwidth, sync vs async vs parallel reclaim (beyond the paper)", func(w io.Writer) error {
+			return ReportReclaimBW(w, iters(quick, 1500, 6000))
+		}},
 	}
 }
 

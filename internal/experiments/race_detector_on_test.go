@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceDetectorOn reports whether this test binary was built with -race.
+// Race instrumentation perturbs scheduling and slows every goroutine,
+// which drowns the finer bandwidth orderings in noise; tests use this to
+// keep only the assertions that survive instrumentation.
+const raceDetectorOn = true

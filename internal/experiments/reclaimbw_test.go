@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"testing"
+
+	"uvm/internal/uvm"
+)
+
+// TestReclaimBWRunsOnAllConfigs smoke-tests the driver: every pipeline
+// configuration completes the overcommitted workload with real paging.
+func TestReclaimBWRunsOnAllConfigs(t *testing.T) {
+	points, err := ReclaimBW(900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(reclaimBWConfigs()) {
+		t.Fatalf("got %d points", len(points))
+	}
+	for _, pt := range points {
+		if pt.Accesses != reclaimBWProducers*900 {
+			t.Fatalf("%s: lost samples: %+v", pt.Config, pt)
+		}
+		if pt.Pageouts == 0 {
+			t.Fatalf("%s: no paging happened — the workload no longer overcommits: %+v", pt.Config, pt)
+		}
+		if pt.Sim <= 0 || pt.Wall <= 0 || pt.SimBW <= 0 {
+			t.Fatalf("%s: degenerate measurement: %+v", pt.Config, pt)
+		}
+	}
+}
+
+// TestReclaimBWAsyncBeatsSyncSimBandwidth is the PR's headline claim:
+// overlapping cluster writes with the next reclaim scan sustains strictly
+// higher pageout bandwidth than the synchronous single-daemon baseline.
+// The assertion uses *simulated* bandwidth, which is a modelling
+// property — the sync daemon charges every cluster's disk time to the
+// machine clock, the async one overlaps it — and therefore holds on any
+// host, single-core CI included (wall-clock effects of the worker shards
+// are reported but, like the scaling experiment, need real cores).
+func TestReclaimBWAsyncBeatsSyncSimBandwidth(t *testing.T) {
+	syncPt, err := ReclaimBWRun("sync-1w", func(c *uvm.Config) {}, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asyncPt, err := ReclaimBWRun("async-1w", func(c *uvm.Config) {
+		c.AsyncPageout = true
+		c.PageoutWindow = 4
+	}, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multiPt, err := ReclaimBWRun("async-4w", func(c *uvm.Config) {
+		c.AsyncPageout = true
+		c.PageoutWindow = 4
+		c.ReclaimWorkers = 4
+	}, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sim bandwidth: sync-1w %.0f pg/s, async-1w %.0f pg/s, async-4w %.0f pg/s",
+		syncPt.SimBW, asyncPt.SimBW, multiPt.SimBW)
+	if asyncPt.AsyncClusters == 0 {
+		t.Fatalf("async run submitted no async clusters: %+v", asyncPt)
+	}
+	if asyncPt.SimBW <= syncPt.SimBW {
+		t.Errorf("async pageout bandwidth (%.0f pg/s) not above sync baseline (%.0f pg/s)",
+			asyncPt.SimBW, syncPt.SimBW)
+	}
+	if raceDetectorOn {
+		// Race instrumentation slows allocators into the synchronous
+		// direct-reclaim fallback, which charges disk time to the shared
+		// clock and buries the multi-worker ordering in noise. The
+		// async-vs-sync claim above still holds; the worker ordering is
+		// asserted only on uninstrumented builds.
+		t.Logf("race detector on: multi-worker ordering reported, not asserted")
+		return
+	}
+	if multiPt.SimBW <= syncPt.SimBW {
+		t.Errorf("multi-worker async bandwidth (%.0f pg/s) not above sync baseline (%.0f pg/s)",
+			multiPt.SimBW, syncPt.SimBW)
+	}
+}

@@ -422,6 +422,11 @@ func (sh *memShard) detachLocked(p *Page) {
 	p.queue = QueueNone
 }
 
+// NumQueueShards returns the page-queue shard count. Reclaim workers use
+// it to carve the inactive queue into disjoint shard ranges for
+// ScanInactiveRange.
+func NumQueueShards() int { return numShards }
+
 // ScanInactive calls fn on up to max pages in global LRU order from the
 // inactive queue. fn runs without any queue lock held so it may call back
 // into Mem; the scan snapshots candidates first, skipping busy, wired and
@@ -429,6 +434,21 @@ func (sh *memShard) detachLocked(p *Page) {
 // merged by sequence stamp, so the visit order matches what a single
 // global inactive queue would produce.
 func (m *Mem) ScanInactive(max int, fn func(*Page) bool) {
+	m.ScanInactiveRange(0, numShards, max, fn)
+}
+
+// ScanInactiveRange is ScanInactive restricted to queue shards
+// [loShard, hiShard): it visits up to max inactive pages homed in those
+// shards, merged to the LRU order of the covered subset. Parallel reclaim
+// workers each scan a disjoint range, so they never hand one another the
+// same page; with the full range it is exactly ScanInactive.
+func (m *Mem) ScanInactiveRange(loShard, hiShard, max int, fn func(*Page) bool) {
+	if loShard < 0 {
+		loShard = 0
+	}
+	if hiShard > numShards {
+		hiShard = numShards
+	}
 	// The LRU stamp is copied out while the shard lock is held: p.seq is
 	// re-stamped (under other shard locks) whenever a page moves queues,
 	// so the sort below must not touch the live field.
@@ -437,7 +457,7 @@ func (m *Mem) ScanInactive(max int, fn func(*Page) bool) {
 		seq uint64
 	}
 	var cand []candidate
-	for i := range m.shards {
+	for i := loShard; i < hiShard; i++ {
 		sh := &m.shards[i]
 		sh.mu.Lock()
 		cnt := 0

@@ -133,8 +133,13 @@ const (
 	CtrDiskPagesWrite  = "disk.pages.written"
 	CtrSwapSlotsLive   = "swap.slots.live"
 	CtrSwapIOs         = "swap.ios"
-	CtrLoanouts        = "uvm.loanouts"
-	CtrTransfers       = "uvm.transfers"
+
+	// Asynchronous swap I/O counters (internal/swap/aio.go).
+	CtrSwapAIOWrites      = "swap.aio.writes"       // async cluster writes submitted
+	CtrSwapAIOPages       = "swap.aio.pages"        // pages carried by async writes
+	CtrSwapAIOInFlightMax = "swap.aio.inflight.max" // high-water in-flight writes
+	CtrLoanouts           = "uvm.loanouts"
+	CtrTransfers          = "uvm.transfers"
 
 	// Asynchronous pagedaemon counters (internal/uvm/pdaemon.go).
 	CtrPdFreed      = "uvm.pdaemon.freed"      // pages freed by reclaim
@@ -144,4 +149,13 @@ const (
 	CtrPdWakeups    = "uvm.pdaemon.wakeups"    // doorbell rings delivered
 	CtrPdBlocked    = "uvm.pdaemon.blocked"    // allocators that had to wait
 	CtrPdDirect     = "uvm.pdaemon.direct"     // direct-reclaim fallbacks
+
+	// Reclaim I/O pipeline counters (async pageout, parallel reclaim
+	// workers, clustered pagein — internal/uvm/pdaemon.go, pagein.go).
+	CtrPdAsyncClusters = "uvm.pdaemon.async.clusters" // clusters submitted asynchronously
+	CtrPdAsyncPages    = "uvm.pdaemon.async.pages"    // pages riding async clusters
+	CtrPdAsyncErrors   = "uvm.pdaemon.async.errors"   // async writes that failed
+	CtrPdWorkerRounds  = "uvm.pdaemon.worker.rounds"  // per-worker reclaim passes
+	CtrPageinClusters  = "uvm.pagein.clusters"        // clustered pagein I/Os
+	CtrPageinClustered = "uvm.pagein.clustered"       // extra pages brought in by clustering
 )

@@ -1,0 +1,127 @@
+package swap
+
+import (
+	"fmt"
+	"sync"
+
+	"uvm/internal/sim"
+)
+
+// This file is the asynchronous half of the swap I/O path: a bounded
+// per-device in-flight window of cluster writes whose completions are
+// delivered by callback. The pagedaemon uses it to overlap its next
+// inactive-queue scan with pageout I/O still on the wire (the "async
+// cluster I/O" follow-on to the paper's clustered pageout): it submits a
+// cluster with WriteClusterAsync and keeps scanning; the completion
+// callback releases the cluster's pages.
+//
+// The model is deliberately simple. Each device admits at most its
+// window's worth of writes at once — a submitter that finds the window
+// full blocks until a completion opens a slot, which is the natural
+// backpressure that keeps a fast scanner from burying a slow disk. Writes
+// to one device are serialised by a per-device I/O mutex (one head), but
+// their data transfer is performed off the submitter's goroutine and
+// charged as deferred I/O, so the submitter's simulated clock never pays
+// for an overlapped write. Completions for different clusters may run
+// concurrently and in any order; each callback runs exactly once, off the
+// submitter's goroutine.
+
+// DefaultAIOWindow is the per-device in-flight cluster-write window used
+// when SetAIOWindow was never called (or asked for 0).
+const DefaultAIOWindow = 4
+
+// aio is the Swap-wide async-write bookkeeping: the configured window and
+// the in-flight count Drain waits on.
+type aio struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	window   int
+	inFlight int
+}
+
+func (a *aio) init() {
+	a.cond = sync.NewCond(&a.mu)
+	a.window = DefaultAIOWindow
+}
+
+// SetAIOWindow sets the per-device in-flight window for asynchronous
+// cluster writes. It must be called before the first WriteClusterAsync;
+// n <= 0 restores the default. Devices configured after the call also use
+// the new window.
+func (s *Swap) SetAIOWindow(n int) {
+	if n <= 0 {
+		n = DefaultAIOWindow
+	}
+	s.aio.mu.Lock()
+	s.aio.window = n
+	s.aio.mu.Unlock()
+}
+
+// AIOInFlight returns the number of asynchronous cluster writes currently
+// submitted but not yet completed (test/debug helper).
+func (s *Swap) AIOInFlight() int {
+	s.aio.mu.Lock()
+	defer s.aio.mu.Unlock()
+	return s.aio.inFlight
+}
+
+// ensureAIOSem returns d's window semaphore, creating it with the current
+// window on first use.
+func (s *Swap) ensureAIOSem(d *device) chan struct{} {
+	s.aio.mu.Lock()
+	defer s.aio.mu.Unlock()
+	if d.aioSem == nil {
+		d.aioSem = make(chan struct{}, s.aio.window)
+	}
+	return d.aioSem
+}
+
+// WriteClusterAsync submits a contiguous cluster write and returns as
+// soon as the target device has admitted it to its in-flight window,
+// blocking only while the window is full. done is invoked exactly once,
+// from another goroutine, with the write's result; the caller must treat
+// the buffers as owned by the I/O until then. Malformed requests (a run
+// that escapes its device) are reported synchronously and done is never
+// called.
+func (s *Swap) WriteClusterAsync(start int64, bufs [][]byte, done func(error)) error {
+	d := s.deviceFor(start)
+	if start-d.base+int64(len(bufs)) > d.size {
+		return fmt.Errorf("swap: cluster at %d spans devices", start)
+	}
+	sem := s.ensureAIOSem(d)
+	sem <- struct{}{} // claim a window slot; blocks while the window is full
+
+	s.aio.mu.Lock()
+	s.aio.inFlight++
+	inFlight := s.aio.inFlight
+	s.aio.mu.Unlock()
+	s.stats.Inc(sim.CtrSwapAIOWrites)
+	s.stats.Add(sim.CtrSwapAIOPages, int64(len(bufs)))
+	s.stats.Max(sim.CtrSwapAIOInFlightMax, int64(inFlight))
+
+	go func() {
+		d.aioIO.Lock() // one head per device: overlapped writes still queue at the disk
+		err := d.dev.WritePagesDeferred(start-d.base, bufs)
+		d.aioIO.Unlock()
+		<-sem
+		done(err)
+		s.aio.mu.Lock()
+		s.aio.inFlight--
+		if s.aio.inFlight == 0 {
+			s.aio.cond.Broadcast()
+		}
+		s.aio.mu.Unlock()
+	}()
+	return nil
+}
+
+// DrainAsync blocks until every asynchronous cluster write submitted so
+// far has completed (its done callback has returned). Used by shutdown
+// paths that must guarantee no completion callback is still running.
+func (s *Swap) DrainAsync() {
+	s.aio.mu.Lock()
+	for s.aio.inFlight > 0 {
+		s.aio.cond.Wait()
+	}
+	s.aio.mu.Unlock()
+}

@@ -26,6 +26,14 @@
 // A cluster never spans a shard (and therefore never spans a device): a
 // cluster must go out in one I/O to one disk, and shards are sized far
 // above the largest pageout cluster.
+//
+// # Asynchronous writes
+//
+// Cluster writes can also be submitted asynchronously (WriteClusterAsync,
+// aio.go): each device admits a bounded in-flight window of writes whose
+// completions are delivered by callback, which is how the pagedaemon
+// overlaps pageout I/O with its next reclaim scan. ReadCluster is the
+// read-side mirror of WriteCluster, used by clustered pagein.
 package swap
 
 import (
@@ -134,6 +142,11 @@ type device struct {
 	shards    []*shard
 	shardSize int64         // size of every shard but the last
 	cursor    atomic.Uint64 // round-robin start shard for allocations
+
+	// Asynchronous write state (see aio.go): the window semaphore bounds
+	// in-flight cluster writes to this device; aioIO serialises the head.
+	aioIO  sync.Mutex
+	aioSem chan struct{}
 }
 
 // shardCount picks the number of shards for a device of the given size:
@@ -214,12 +227,15 @@ type Swap struct {
 
 	nSlots atomic.Int64
 	nInUse atomic.Int64 // lock-free in-use count across all shards
+
+	aio aio // asynchronous cluster-write engine (see aio.go)
 }
 
 // New creates a swap subsystem with one device of priority 0 spanning dev.
 func New(clock *sim.Clock, costs *sim.Costs, stats *sim.Stats, dev *disk.Disk) *Swap {
 	s := &Swap{clock: clock, costs: costs, stats: stats}
 	s.devs.Store(&topo{})
+	s.aio.init()
 	s.AddDevice(dev, 0)
 	return s
 }
@@ -349,6 +365,27 @@ func (s *Swap) ReadSlot(slot int64, buf []byte) error {
 	s.stats.Inc(sim.CtrSwapIOs)
 	d := s.deviceFor(slot)
 	return d.dev.ReadPages(slot-d.base, [][]byte{buf})
+}
+
+// ReadCluster pages len(bufs) contiguous slots starting at start in with a
+// single I/O operation — the read-side mirror of WriteCluster, used by
+// clustered pagein. The run must lie within one device; callers clamp
+// their window with DeviceBounds first.
+func (s *Swap) ReadCluster(start int64, bufs [][]byte) error {
+	s.stats.Inc(sim.CtrSwapIOs)
+	d := s.deviceFor(start)
+	if start-d.base+int64(len(bufs)) > d.size {
+		return fmt.Errorf("swap: read cluster at %d spans devices", start)
+	}
+	return d.dev.ReadPages(start-d.base, bufs)
+}
+
+// DeviceBounds returns the global slot range [lo, hi) of the device owning
+// slot. Cluster I/O never crosses a device (one I/O goes to one disk), so
+// pagein windows are clamped to these bounds.
+func (s *Swap) DeviceBounds(slot int64) (lo, hi int64) {
+	d := s.deviceFor(slot)
+	return d.base, d.base + d.size
 }
 
 // WriteSlot pages buf out to a single slot.

@@ -31,6 +31,7 @@ type anon struct {
 	loaned bool
 }
 
+// String renders the anon's refcount and data location for debug output.
 func (a *anon) String() string {
 	loc := "none"
 	if a.page != nil {

@@ -282,7 +282,15 @@ func (s *System) faultResolve(p *Process, e *entry, va param.VAddr, write bool) 
 func (s *System) faultAnon(e *entry, am *amap, a *anon, slot int, write bool) (*phys.Page, param.Prot, func(), error) {
 	a.mu.Lock()
 	if a.page == nil {
-		if err := s.anonPageinLocked(a); err != nil {
+		var err error
+		if s.cfg.PageinCluster > 1 && a.swslot != swap.NoSlot {
+			// Clustered pagein: drag in VA neighbours whose swap slots
+			// are adjacent to ours with the same I/O (see pagein.go).
+			err = s.pageinCluster(am, a, slot)
+		} else {
+			err = s.anonPageinLocked(a)
+		}
+		if err != nil {
 			a.mu.Unlock()
 			am.mu.Unlock()
 			return nil, 0, nil, err

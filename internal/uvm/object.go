@@ -49,6 +49,7 @@ type uobject struct {
 	aobjSlots map[int]int64
 }
 
+// String renders the object's pager kind and population for debug output.
 func (o *uobject) String() string {
 	return fmt.Sprintf("uobj(%s refs=%d pages=%d)", o.ops.name(), o.refs, len(o.pages))
 }
@@ -245,37 +246,42 @@ func (s *System) newAObj(n int) *uobject {
 }
 
 func (ap *aobjPager) get(o *uobject, idx int) (*phys.Page, error) {
-	if slot, ok := o.aobjSlots[idx]; ok {
-		pg, raced, err := ap.sys.allocObjPageLocked(o, idx, false)
-		if err != nil {
-			return nil, err
-		}
-		if raced {
-			return pg, nil
-		}
-		pg.Busy.Store(true)
-		err = ap.sys.mach.Swap.ReadSlot(slot, pg.Data)
-		pg.Busy.Store(false)
-		if err != nil {
-			ap.sys.mach.Mem.Free(pg)
-			return nil, err
-		}
-		o.pages[idx] = pg
-		pg.Dirty.Store(false)
-		ap.sys.mach.Stats.Inc(sim.CtrPageIns)
-		return pg, nil
-	}
-	// First touch: zero-fill. Anonymous content exists only in RAM, so
-	// the page is born dirty.
-	pg, raced, err := ap.sys.allocObjPageLocked(o, idx, true)
+	_, hadSlot := o.aobjSlots[idx]
+	pg, raced, err := ap.sys.allocObjPageLocked(o, idx, !hadSlot)
 	if err != nil {
 		return nil, err
 	}
 	if raced {
 		return pg, nil
 	}
+	// allocObjPageLocked dropped o.mu around the allocation, so the slot
+	// state observed above may be stale: a concurrent pageout can have
+	// reassigned (or even created) the slot, and msync/teardown paths
+	// can have freed it — the free-during-pagein race. Re-read it under
+	// the re-acquired lock before deciding where the data comes from;
+	// from here to the ReadSlot the lock is held continuously.
+	slot, ok := o.aobjSlots[idx]
+	if !ok {
+		// No backing copy (first touch), or it vanished while the lock
+		// was down: zero-fill. Anonymous content exists only in RAM, so
+		// the page is born dirty.
+		if hadSlot {
+			ap.sys.mach.Mem.Zero(pg) // allocated un-zeroed for a read that is off
+		}
+		o.pages[idx] = pg
+		pg.Dirty.Store(true)
+		return pg, nil
+	}
+	pg.Busy.Store(true)
+	err = ap.sys.mach.Swap.ReadSlot(slot, pg.Data)
+	pg.Busy.Store(false)
+	if err != nil {
+		ap.sys.mach.Mem.Free(pg)
+		return nil, err
+	}
 	o.pages[idx] = pg
-	pg.Dirty.Store(true)
+	pg.Dirty.Store(false)
+	ap.sys.mach.Stats.Inc(sim.CtrPageIns)
 	return pg, nil
 }
 

@@ -1,0 +1,148 @@
+package uvm
+
+import (
+	"uvm/internal/phys"
+	"uvm/internal/sim"
+	"uvm/internal/swap"
+)
+
+// Clustered pagein: the read-side mirror of the paper's clustered
+// pageout. The pagedaemon reassigns a whole dirty cluster — typically
+// VA-adjacent anons of one amap — into one contiguous run of swap slots
+// and writes it with a single I/O. That layout is exactly what makes the
+// reverse trip cheap: when one of those anons faults back in, its VA
+// neighbours very likely sit in the adjacent slots, so one positioning
+// cost can drag the whole neighbourhood back instead of paying a full
+// seek per page as the faults arrive one by one.
+//
+// There is no slot→anon reverse map, and we do not want one; the amap
+// already is the locality map. pageinCluster therefore walks the faulting
+// anon's VA neighbours in its amap, keeps those whose swap slots extend
+// the faulting slot into a contiguous same-device run, and issues one
+// swap.ReadCluster for the run. Neighbours are acquired with TryLock only
+// (anon locks are peers in the lock order; blocking could deadlock with a
+// concurrent fault walking the other way), so a busy neighbour simply
+// drops out of the window. Pages brought in for neighbours are activated
+// but not mapped: the fault-time lookahead maps resident neighbours for
+// free, and a later fault finds them resident.
+
+// pageinCluster brings a's data in from swap, reading up to
+// cfg.PageinCluster adjacent allocated slots in one I/O when the
+// faulting anon's VA neighbours occupy them. Called with am.mu and a.mu
+// held, a.page == nil and a.swslot valid; on success a.page is resident,
+// exactly like anonPageinLocked (the single-slot path it falls back to
+// whenever no neighbour is adjacent or resources run short).
+func (s *System) pageinCluster(am *amap, a *anon, slot int) error {
+	window := s.cfg.PageinCluster
+	base := a.swslot
+	devLo, devHi := s.mach.Swap.DeviceBounds(base)
+
+	// Collect willing VA neighbours: swapped out, unloaned, slot within
+	// the window on the same device, lock available right now.
+	bySlot := map[int64]*anon{base: a}
+	var extras []*anon
+	for d := 1 - window; d < window; d++ {
+		if d == 0 {
+			continue
+		}
+		b := am.impl.get(slot + d)
+		if b == nil || b == a {
+			continue
+		}
+		if !b.mu.TryLock() {
+			continue
+		}
+		if b.page != nil || b.loaned || b.swslot == swap.NoSlot ||
+			b.swslot < devLo || b.swslot >= devHi ||
+			b.swslot <= base-int64(window) || b.swslot >= base+int64(window) ||
+			bySlot[b.swslot] != nil {
+			b.mu.Unlock()
+			continue
+		}
+		bySlot[b.swslot] = b
+		extras = append(extras, b)
+	}
+
+	// Grow the faulting slot into the largest contiguous run the
+	// candidates cover, capped at the window.
+	lo, hi := base, base
+	for hi-lo < int64(window)-1 {
+		grew := false
+		if lo > devLo && bySlot[lo-1] != nil {
+			lo--
+			grew = true
+		}
+		if hi-lo < int64(window)-1 && bySlot[hi+1] != nil {
+			hi++
+			grew = true
+		}
+		if !grew {
+			break
+		}
+	}
+	releaseOutside := func() {
+		for _, b := range extras {
+			if b.swslot < lo || b.swslot > hi {
+				b.mu.Unlock()
+			}
+		}
+	}
+	releaseOutside()
+	if lo == hi {
+		return s.anonPageinLocked(a) // nothing adjacent: plain single-slot pagein
+	}
+	run := make([]*anon, 0, hi-lo+1)
+	for sl := lo; sl <= hi; sl++ {
+		run = append(run, bySlot[sl])
+	}
+
+	// Allocate the frames, then read the whole run with one I/O. Any
+	// failure rolls the neighbours back and degrades to the single-slot
+	// path for the faulting anon — clustering is an optimisation, never a
+	// new way to fail a fault.
+	abort := func(pages []*phys.Page) {
+		for _, pg := range pages {
+			if pg != nil {
+				pg.Busy.Store(false)
+				s.mach.Mem.Free(pg)
+			}
+		}
+		for _, b := range run {
+			if b != a {
+				b.mu.Unlock()
+			}
+		}
+	}
+	pages := make([]*phys.Page, len(run))
+	bufs := make([][]byte, len(run))
+	for i, b := range run {
+		pg, err := s.allocPage(b, 0, false)
+		if err != nil {
+			abort(pages)
+			return s.anonPageinLocked(a)
+		}
+		pg.Busy.Store(true)
+		pages[i] = pg
+		bufs[i] = pg.Data
+	}
+	if err := s.mach.Swap.ReadCluster(lo, bufs); err != nil {
+		abort(pages)
+		return s.anonPageinLocked(a)
+	}
+	for i, b := range run {
+		pg := pages[i]
+		pg.Busy.Store(false)
+		// The swap copy remains valid until the page is dirtied again;
+		// keep the slot so a clean eviction is free.
+		pg.Dirty.Store(false)
+		b.page = pg
+		if b != a {
+			s.mach.Mem.Activate(pg)
+			b.mu.Unlock()
+		}
+	}
+	s.mach.Stats.Inc(sim.CtrPageinClusters)
+	s.mach.Stats.Add(sim.CtrPageinClustered, int64(len(run)-1))
+	s.mach.Stats.Add("uvm.anon.pagein", int64(len(run)))
+	return nil
+}

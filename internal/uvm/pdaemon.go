@@ -3,6 +3,7 @@ package uvm
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"uvm/internal/param"
 	"uvm/internal/phys"
@@ -35,15 +36,23 @@ var (
 //     and re-kicks itself while it is making progress below the low
 //     mark, so it normally runs ahead of allocators and they never block
 //     at all.
-//  4. A round that frees nothing does not re-kick: the waiters are told
-//     (errPdStalled) and fall back to reclaiming directly, which
-//     tolerates owners locked by the waiting goroutine itself the same
-//     way the daemon does (TryLock + skip).
+//  4. A round that frees nothing and has no pageout I/O in flight does
+//     not re-kick: the waiters are told (errPdStalled) and fall back to
+//     reclaiming directly, which tolerates owners locked by the waiting
+//     goroutine itself the same way the daemon does (TryLock + skip).
+//     With async pageout a fruitless round that *does* have clusters on
+//     the wire is not a stall: waiters keep sleeping until a completion
+//     (asyncDone) frees the pages and bumps the generation.
+//
+// Rounds fan out to cfg.ReclaimWorkers parallel workers over disjoint
+// queue-shard ranges (reclaimRound); the daemon remains the only
+// watermark coordinator.
 //
 // Shutdown (System.Shutdown) marks the daemon, broadcasts so blocked
-// allocators unwedge immediately, and joins the goroutine. The System
-// stays usable afterwards — allocPage degrades to inline reclaim — so
-// teardown ordering is forgiving.
+// allocators unwedge immediately, joins the goroutine, and then drains
+// the async write window. The System stays usable afterwards —
+// allocPage degrades to inline reclaim — so teardown ordering is
+// forgiving.
 type pagedaemon struct {
 	s    *System
 	low  int // wake the daemon when free pages drop below this
@@ -54,9 +63,10 @@ type pagedaemon struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond // signalled after every completed round
-	gen      uint64     // completed reclaim rounds
-	genFreed int        // pages freed by the most recent round
+	gen      uint64     // completed reclaim rounds + async completions
+	genFreed int        // pages freed by the most recent round/completion
 	waiters  int        // allocators currently blocked in waitForFree
+	inflight int        // async pageout clusters submitted, not yet completed
 	shutdown bool
 
 	// gate, when non-nil, runs before each reclaim round. Test hook: it
@@ -130,7 +140,7 @@ func (pd *pagedaemon) run() {
 		if target < pd.s.cfg.ReclaimBatch {
 			target = pd.s.cfg.ReclaimBatch
 		}
-		freed := pd.s.reclaimCount(target)
+		freed, submitted := pd.s.reclaimRound(target)
 		pd.s.mach.Stats.Inc(sim.CtrPdRounds)
 
 		pd.mu.Lock()
@@ -139,18 +149,50 @@ func (pd *pagedaemon) run() {
 		pd.cond.Broadcast()
 		pd.mu.Unlock()
 
-		// Still under pressure and making progress: run another round
-		// without waiting for the next allocation to ring the doorbell.
-		if freed > 0 && pd.s.mach.Mem.FreePages() < pd.low {
+		// Still under pressure and making progress — pages freed, or
+		// clusters on the wire whose completions will free them: run
+		// another round without waiting for the next allocation to ring
+		// the doorbell. (A round that only submitted overlaps its I/O
+		// with the next scan; if the next scan finds everything already
+		// in flight it frees and submits nothing, stops re-kicking, and
+		// the completions take over via asyncDone's kick.)
+		if (freed > 0 || submitted > 0) && pd.s.mach.Mem.FreePages() < pd.low {
 			pd.kick()
 		}
 	}
 }
 
+// addInFlight records an asynchronous cluster submission; its matching
+// asyncDone arrives from the completion callback.
+func (pd *pagedaemon) addInFlight() {
+	pd.mu.Lock()
+	pd.inflight++
+	pd.mu.Unlock()
+}
+
+// asyncDone is called from an async pageout completion callback: freed
+// pages (0 if the write failed) have just been returned to the free
+// list. It reports the completion as a generation so blocked allocators
+// retry, and keeps the daemon running if memory is still short.
+func (pd *pagedaemon) asyncDone(freed int) {
+	pd.mu.Lock()
+	pd.inflight--
+	pd.gen++
+	pd.genFreed = freed
+	pd.cond.Broadcast()
+	pd.mu.Unlock()
+	if freed > 0 && pd.s.mach.Mem.FreePages() < pd.low {
+		pd.kick()
+	}
+}
+
 // waitForFree blocks the calling allocator until the daemon completes a
-// reclaim round (or shutdown). nil means the round freed pages and the
-// allocation is worth retrying; errPdStalled/errPdShutdown mean the
-// caller should reclaim directly.
+// reclaim round or an async pageout completion frees pages (or until
+// shutdown). nil means pages were freed and the allocation is worth
+// retrying; errPdStalled/errPdShutdown mean the caller should reclaim
+// directly. A round that freed nothing but has cluster writes in flight
+// is not a stall — the allocator keeps waiting for the completion, like
+// a kernel thread sleeping on pageout I/O.
 func (pd *pagedaemon) waitForFree() error {
 	pd.s.mach.Stats.Inc(sim.CtrPdBlocked)
 	pd.mu.Lock()
@@ -158,20 +200,24 @@ func (pd *pagedaemon) waitForFree() error {
 	if pd.shutdown {
 		return errPdShutdown
 	}
-	start := pd.gen
 	pd.waiters++
+	defer func() { pd.waiters-- }()
 	pd.kick()
-	for pd.gen == start && !pd.shutdown {
-		pd.cond.Wait()
-	}
-	pd.waiters--
-	switch {
-	case pd.gen == start: // unblocked by shutdown, not by a round
-		return errPdShutdown
-	case pd.genFreed == 0:
+	for {
+		start := pd.gen
+		for pd.gen == start && !pd.shutdown {
+			pd.cond.Wait()
+		}
+		switch {
+		case pd.gen == start: // unblocked by shutdown, not by a round
+			return errPdShutdown
+		case pd.genFreed > 0:
+			return nil
+		case pd.inflight > 0:
+			continue // pageout I/O on the wire: its completion will free pages
+		}
 		return errPdStalled
 	}
-	return nil
 }
 
 // stop shuts the daemon down: blocked allocators are released
@@ -308,7 +354,9 @@ func (os ownerSet) releaseAll() {
 // protocol makes them skip each other's pages.
 //
 // reclaim reports ErrDeadlock when nothing could be freed; reclaimCount
-// is the daemon-facing variant that just returns the count.
+// is the count-returning variant used by the direct-reclaim fallback.
+// Both are synchronous full-range scans: an allocating goroutine needs a
+// page now, so its pageout never goes async.
 func (s *System) reclaim(target int) error {
 	if s.reclaimCount(target) == 0 {
 		return vmapi.ErrDeadlock
@@ -317,15 +365,68 @@ func (s *System) reclaim(target int) error {
 }
 
 func (s *System) reclaimCount(target int) int {
-	freed := 0
-	for pass := 0; pass < 4 && freed < target; pass++ {
+	freed, _ := s.reclaimRange(0, phys.NumQueueShards(), target, false)
+	return freed
+}
+
+// reclaimRound is the daemon's per-round entry point. The daemon itself
+// is the only coordinator — it sized the round's target from the
+// watermarks — and this function fans the scan out to cfg.ReclaimWorkers
+// workers over disjoint page-queue shard ranges (or runs the classic
+// single full-range scan for 0/1 workers, which keeps single-threaded
+// runs byte-deterministic). It returns the pages freed synchronously and
+// the pages submitted as in-flight asynchronous cluster writes.
+func (s *System) reclaimRound(target int) (freed, submitted int) {
+	async := s.cfg.AsyncPageout
+	nsh := phys.NumQueueShards()
+	workers := s.cfg.ReclaimWorkers
+	if workers > nsh {
+		workers = nsh
+	}
+	if workers < 2 {
+		return s.reclaimRange(0, nsh, target, async)
+	}
+	// Stock the inactive queue once up front, under the coordinator, so
+	// workers start from a refilled queue instead of each aging pages.
+	if s.mach.Mem.InactivePages() < target*2 {
+		s.mach.Mem.RefillInactive(target * 2)
+	}
+	per := (target + workers - 1) / workers
+	var (
+		wg     sync.WaitGroup
+		freedN atomic.Int64
+		subN   atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		lo, hi := w*nsh/workers, (w+1)*nsh/workers
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f, sub := s.reclaimRange(lo, hi, per, async)
+			freedN.Add(int64(f))
+			subN.Add(int64(sub))
+			s.mach.Stats.Inc(sim.CtrPdWorkerRounds)
+		}()
+	}
+	wg.Wait()
+	return int(freedN.Load()), int(subN.Load())
+}
+
+// reclaimRange runs the second-chance reclaim scan over queue shards
+// [loShard, hiShard): up to four passes of collect-cluster-evict until
+// target pages are freed (or submitted, when async pageout is on). It is
+// the body every reclaim flavour shares — the single daemon, each
+// parallel worker, and the direct-reclaim fallback differ only in their
+// shard range, target and async flag.
+func (s *System) reclaimRange(loShard, hiShard, target int, async bool) (freed, submitted int) {
+	for pass := 0; pass < 4 && freed+submitted < target; pass++ {
 		if s.mach.Mem.InactivePages() < target*2 {
 			s.mach.Mem.RefillInactive(target * 2)
 		}
 		var cluster []*phys.Page
 		held := make(ownerSet)
-		s.mach.Mem.ScanInactive(target*4, func(pg *phys.Page) bool {
-			if freed+len(cluster) >= target {
+		s.mach.Mem.ScanInactiveRange(loShard, hiShard, target*4, func(pg *phys.Page) bool {
+			if freed+submitted+len(cluster) >= target {
 				return false
 			}
 			if pg.Referenced.Load() {
@@ -424,19 +525,31 @@ func (s *System) reclaimCount(target int) int {
 		})
 
 		if len(cluster) > 0 {
-			n, err := s.clusterPageout(cluster)
-			freed += n
-			if err != nil {
-				// Could not clean (e.g. swap exhausted): put the
-				// unwritten pages back on the queues and stop trying.
-				for _, pg := range cluster {
-					if pg.Busy.Load() {
-						pg.Busy.Store(false)
-						s.mach.Mem.Activate(pg)
+			asyncN := 0
+			if async {
+				asyncN = s.clusterPageoutAsync(cluster, held)
+			}
+			if asyncN > 0 {
+				// The cluster, its held owners, and the duty to free the
+				// pages all travel with the in-flight write; scan on with
+				// a fresh owner set.
+				submitted += asyncN
+				held = make(ownerSet)
+			} else {
+				n, err := s.clusterPageout(cluster)
+				freed += n
+				if err != nil {
+					// Could not clean (e.g. swap exhausted): put the
+					// unwritten pages back on the queues and stop trying.
+					for _, pg := range cluster {
+						if pg.Busy.Load() {
+							pg.Busy.Store(false)
+							s.mach.Mem.Activate(pg)
+						}
 					}
+					held.releaseAll()
+					break
 				}
-				held.releaseAll()
-				break
 			}
 		}
 		held.releaseAll()
@@ -444,7 +557,75 @@ func (s *System) reclaimCount(target int) int {
 	if freed > 0 {
 		s.mach.Stats.Add(sim.CtrPdFreed, int64(freed))
 	}
-	return freed
+	return freed, submitted
+}
+
+// clusterPageoutAsync submits the collected dirty cluster as an
+// asynchronous write and returns how many pages are now in flight (0
+// means the caller must fall back to the synchronous path: clustering
+// disabled, a single page, or swap too fragmented for a contiguous run).
+// On submission, ownership of `held` — every owner lock this pass
+// acquired — transfers to the completion callback, which detaches and
+// frees the pages, releases the owners, and wakes blocked allocators
+// (see asyncPageoutDone). The submission blocks only while the target
+// device's in-flight window is full, which is the backpressure that
+// stops the scan from running arbitrarily far ahead of the disk.
+func (s *System) clusterPageoutAsync(cluster []*phys.Page, held ownerSet) int {
+	if s.pd == nil || s.cfg.DisableClustering || len(cluster) < 2 {
+		return 0
+	}
+	start, err := s.mach.Swap.AllocContig(len(cluster))
+	if err != nil {
+		return 0 // fragmented: the sync path falls back to singles
+	}
+	bufs := make([][]byte, len(cluster))
+	for i, pg := range cluster {
+		s.reassignSlot(pg, start+int64(i))
+		bufs[i] = pg.Data
+	}
+	pages := append([]*phys.Page(nil), cluster...)
+	s.mach.Stats.Inc(sim.CtrPdAsyncClusters)
+	s.mach.Stats.Add(sim.CtrPdAsyncPages, int64(len(pages)))
+	s.pd.addInFlight()
+	if err := s.mach.Swap.WriteClusterAsync(start, bufs, func(werr error) {
+		s.asyncPageoutDone(pages, held, werr)
+	}); err != nil {
+		// Unreachable for an AllocContig run (it never spans a device),
+		// but keep the bookkeeping honest: treat it as a failed write.
+		s.asyncPageoutDone(pages, held, err)
+	}
+	return len(pages)
+}
+
+// asyncPageoutDone is the completion callback for an asynchronous
+// cluster write. It runs on a swap I/O goroutine holding the cluster's
+// owner locks (handed over at submission) and nothing else; per the lock
+// order it may only touch page state, page queues, the swap allocator
+// and the daemon's condvar. On success the now-clean pages are detached
+// and freed; on failure they return to the active queue still dirty,
+// their freshly assigned slots keeping whatever garbage the failed write
+// left (harmless: a dirty page is rewritten before its slot is trusted).
+func (s *System) asyncPageoutDone(pages []*phys.Page, owners ownerSet, err error) {
+	freed := 0
+	if err != nil {
+		s.mach.Stats.Inc(sim.CtrPdAsyncErrors)
+		for _, pg := range pages {
+			if pg.Busy.Load() {
+				pg.Busy.Store(false)
+				s.mach.Mem.Activate(pg)
+			}
+		}
+	} else {
+		for _, pg := range pages {
+			s.finishPageout(pg)
+		}
+		freed = len(pages)
+		s.mach.Stats.Inc(sim.CtrPdClusters)
+		s.mach.Stats.Add(sim.CtrPageOuts, int64(freed))
+		s.mach.Stats.Add(sim.CtrPdFreed, int64(freed))
+	}
+	owners.releaseAll()
+	s.pd.asyncDone(freed)
 }
 
 // clusterPageout writes the collected dirty anonymous pages out. With

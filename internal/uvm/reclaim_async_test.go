@@ -1,0 +1,238 @@
+package uvm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"uvm/internal/param"
+	"uvm/internal/sim"
+	"uvm/internal/vmapi"
+)
+
+// Tests for the reclaim I/O pipeline: asynchronous cluster pageout
+// (completion callbacks racing faults and Shutdown), parallel reclaim
+// workers racing allocators, and clustered pagein.
+
+// bootPipeline boots a System on a small machine with the given pipeline
+// tuning applied on top of the defaults.
+func bootPipeline(t *testing.T, ramPages int, tune func(*Config)) (*System, *vmapi.Machine) {
+	t.Helper()
+	m := testMachine(ramPages)
+	cfg := DefaultConfig()
+	if tune != nil {
+		tune(&cfg)
+	}
+	s := BootConfig(m, cfg)
+	t.Cleanup(s.Shutdown)
+	return s, m
+}
+
+// sweepPattern writes one recognisable byte per page across a region and
+// then reads every page back, verifying the round trip through pageout
+// and pagein.
+func sweepPattern(t *testing.T, p *Process, va param.VAddr, pages int) {
+	t.Helper()
+	for i := 0; i < pages; i++ {
+		if err := p.WriteBytes(va+param.VAddr(i)*param.PageSize, []byte{byte(i), byte(i >> 8)}); err != nil {
+			t.Fatalf("write page %d: %v", i, err)
+		}
+	}
+	buf := make([]byte, 2)
+	for i := 0; i < pages; i++ {
+		if err := p.ReadBytes(va+param.VAddr(i)*param.PageSize, buf); err != nil {
+			t.Fatalf("read page %d: %v", i, err)
+		}
+		if buf[0] != byte(i) || buf[1] != byte(i>>8) {
+			t.Fatalf("page %d corrupted: got %#x %#x", i, buf[0], buf[1])
+		}
+	}
+}
+
+// TestAsyncPageoutRoundTrip overcommits a small machine with async
+// cluster pageout enabled and verifies every page survives the trip out
+// and back — pageout completions run on swap I/O goroutines while the
+// workload keeps faulting.
+func TestAsyncPageoutRoundTrip(t *testing.T) {
+	s, m := bootPipeline(t, 128, func(c *Config) {
+		c.AsyncPageout = true
+		c.PageoutWindow = 4
+	})
+	p := newProc(t, s, "sweep")
+	const pages = 512 // 4x RAM
+	va, err := p.Mmap(0, pages*param.PageSize, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweepPattern(t, p, va, pages)
+	s.Shutdown() // drains in-flight completions before we read counters
+	if m.Stats.Get(sim.CtrPdAsyncClusters) == 0 {
+		t.Errorf("no async clusters submitted; counters:\n%s", m.Stats.String())
+	}
+	if got := m.Stats.Get(sim.CtrPdAsyncErrors); got != 0 {
+		t.Errorf("async write errors: %d", got)
+	}
+	if m.Swap.AIOInFlight() != 0 {
+		t.Error("async writes still in flight after Shutdown")
+	}
+}
+
+// TestAsyncCompletionRacesShutdown repeatedly tears a system down while
+// async pageout completions are in flight and allocators are mid-fault:
+// Shutdown must release blocked allocators, drain the in-flight window,
+// and leave the system usable (direct reclaim) — no hang, no race, no
+// double free.
+func TestAsyncCompletionRacesShutdown(t *testing.T) {
+	for iter := 0; iter < 8; iter++ {
+		m := testMachine(96)
+		cfg := DefaultConfig()
+		cfg.AsyncPageout = true
+		cfg.PageoutWindow = 2
+		s := BootConfig(m, cfg)
+
+		const workers, pages = 3, 96
+		var wg sync.WaitGroup
+		errs := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				p, err := s.NewProcess(fmt.Sprintf("w%d", w))
+				if err != nil {
+					errs <- err
+					return
+				}
+				va, err := p.Mmap(0, pages*param.PageSize, param.ProtRW,
+					vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
+				if err != nil {
+					errs <- err
+					return
+				}
+				errs <- p.TouchRange(va, pages*param.PageSize, true)
+			}(w)
+		}
+		// Shut down mid-workload: completions, workers and Shutdown race.
+		s.Shutdown()
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				t.Fatalf("iter %d: worker failed across shutdown: %v", iter, err)
+			}
+		}
+		if m.Swap.AIOInFlight() != 0 {
+			t.Fatalf("iter %d: async writes survived Shutdown", iter)
+		}
+	}
+}
+
+// TestReclaimWorkersRaceAllocators runs the parallel-worker daemon
+// against concurrently allocating and unmapping processes under -race:
+// workers scan disjoint queue-shard ranges while allocators fault, so
+// every TryLock/re-verify path in the scan gets exercised.
+func TestReclaimWorkersRaceAllocators(t *testing.T) {
+	m := vmapi.NewMachine(vmapi.MachineConfig{
+		RAMPages:  128,
+		SwapPages: 8192,
+		FSPages:   1024,
+		MaxVnodes: 16,
+	})
+	cfg := DefaultConfig()
+	cfg.AsyncPageout = true
+	cfg.ReclaimWorkers = 4
+	cfg.PageoutWindow = 2
+	s := BootConfig(m, cfg)
+	t.Cleanup(s.Shutdown)
+
+	// Regions stay mapped (no Munmap) so the combined demand — 4×320
+	// pages against 128 of RAM — keeps the daemon's workers reclaiming
+	// for the whole run, racing the allocators' faults.
+	const workers, pages, sweeps = 4, 320, 2
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p, err := s.NewProcess(fmt.Sprintf("alloc%d", w))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			va, err := p.Mmap(0, pages*param.PageSize, param.ProtRW,
+				vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for sweep := 0; sweep < sweeps; sweep++ {
+				if err := p.TouchRange(va, pages*param.PageSize, true); err != nil {
+					t.Errorf("worker %d sweep %d: %v", w, sweep, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s.Shutdown()
+	if m.Stats.Get(sim.CtrPdWorkerRounds) == 0 {
+		t.Errorf("parallel reclaim workers never dispatched; counters:\n%s", m.Stats.String())
+	}
+	t.Logf("worker rounds=%d async clusters=%d freed=%d direct=%d",
+		m.Stats.Get(sim.CtrPdWorkerRounds),
+		m.Stats.Get(sim.CtrPdAsyncClusters),
+		m.Stats.Get(sim.CtrPdFreed),
+		m.Stats.Get(sim.CtrPdDirect))
+}
+
+// TestPageinClusterReadsNeighbours drives a deterministic single-thread
+// sweep that pages a region out in contiguous clusters, then re-faults
+// it with clustered pagein enabled: neighbour pages must come back with
+// the faulting page in shared I/Os, and every byte must be intact.
+func TestPageinClusterReadsNeighbours(t *testing.T) {
+	s, m := bootPipeline(t, 128, func(c *Config) {
+		c.InlineReclaim = true // deterministic: reclaim inline, pageout sync
+		c.PageinCluster = 8
+	})
+	p := newProc(t, s, "sweep")
+	const pages = 256
+	va, err := p.Mmap(0, pages*param.PageSize, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweepPattern(t, p, va, pages)
+	if m.Stats.Get(sim.CtrPageinClusters) == 0 {
+		t.Errorf("no clustered pageins; counters:\n%s", m.Stats.String())
+	}
+	if m.Stats.Get(sim.CtrPageinClustered) == 0 {
+		t.Error("clustered pageins brought in no extra pages")
+	}
+	// Clustering must *reduce* pagein I/Os: the extra pages rode along.
+	ios := m.Stats.Get(sim.CtrSwapIOs)
+	t.Logf("swap IOs=%d pagein clusters=%d extra pages=%d",
+		ios, m.Stats.Get(sim.CtrPageinClusters), m.Stats.Get(sim.CtrPageinClustered))
+}
+
+// TestPageinClusterMatchesSingleSlotData cross-checks clustered pagein
+// against the single-slot baseline: identical workloads on identical
+// machines must surface identical bytes, clustering being purely an I/O
+// batching change.
+func TestPageinClusterMatchesSingleSlotData(t *testing.T) {
+	run := func(window int) *System {
+		m := testMachine(128)
+		cfg := DefaultConfig()
+		cfg.InlineReclaim = true
+		cfg.PageinCluster = window
+		s := BootConfig(m, cfg)
+		t.Cleanup(s.Shutdown)
+		p := newProc(t, s, "sweep")
+		const pages = 192
+		va, err := p.Mmap(0, pages*param.PageSize, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sweepPattern(t, p, va, pages)
+		return s
+	}
+	run(0) // single-slot baseline; sweepPattern asserts the data
+	run(8) // clustered; sweepPattern asserts the data
+}

@@ -47,14 +47,31 @@
 // woken by phys.Mem's low-water callback; allocators that find the free
 // list empty block on the daemon's condition variable instead of
 // reclaiming inline, and retry once a reclaim round completes. Reclaim —
-// whether in the daemon or in the direct-reclaim fallback — acquires
-// anon/object locks only with TryLock and skips pages whose owner is
-// busy, so it can run concurrently with any allocation path — even one
-// that already holds map, amap, anon or object locks — without
-// deadlocking; pages clustered for pageout keep their owner locked until
-// the I/O completes, which is what makes a concurrent fault on a page
-// mid-pageout block and then cleanly page back in. System.Shutdown stops
-// the daemon gracefully, releasing any blocked allocators.
+// whether in the daemon, a reclaim worker, or the direct-reclaim
+// fallback — acquires anon/object locks only with TryLock and skips
+// pages whose owner is busy, so it can run concurrently with any
+// allocation path — even one that already holds map, amap, anon or
+// object locks — without deadlocking; pages clustered for pageout keep
+// their owner locked until the I/O completes, which is what makes a
+// concurrent fault on a page mid-pageout block and then cleanly page
+// back in. System.Shutdown stops the daemon gracefully, releasing any
+// blocked allocators, and drains in-flight pageout I/O.
+//
+// With cfg.AsyncPageout the cluster I/O itself is overlapped: the
+// daemon submits the write with swap.WriteClusterAsync and scans on;
+// ownership of the cluster's locked anons/objects travels with the
+// in-flight I/O and the *completion callback* — running on a swap I/O
+// goroutine — detaches and frees the pages, releases those locks, and
+// wakes blocked allocators. Completion callbacks therefore inherit the
+// lock order mid-chain: they hold (but never acquire) anon/object
+// locks, and may only take locks strictly below them — page identity
+// and leaf locks (phys queue shards, the swap allocator, the daemon's
+// own condvar mutex). A completion callback must never lock a map or an
+// amap, and never blocks on a TryLock-only path, so it cannot deadlock
+// against faults, reclaim workers, or Shutdown. With cfg.ReclaimWorkers
+// > 1 the daemon dispatches that many workers per round over disjoint
+// page-queue shard ranges; the daemon itself remains the only
+// watermark/round coordinator.
 package uvm
 
 import (
@@ -94,8 +111,30 @@ type Config struct {
 	LowWater int
 	// InlineReclaim disables the asynchronous pagedaemon: allocating
 	// goroutines reclaim inline, as both systems did before the daemon
-	// existed (ablation for the memory-pressure experiment).
+	// existed (ablation for the memory-pressure experiment). Implies
+	// synchronous pageout regardless of AsyncPageout.
 	InlineReclaim bool
+	// AsyncPageout overlaps pageout I/O with the next reclaim scan: the
+	// pagedaemon submits dirty clusters with swap.WriteClusterAsync and
+	// keeps scanning; the completion callback releases the cluster's
+	// pages and owners. Daemon rounds only — direct reclaim in an
+	// allocating goroutine stays synchronous, because that goroutine
+	// needs a page now.
+	AsyncPageout bool
+	// PageoutWindow bounds in-flight asynchronous cluster writes per
+	// swap device (backpressure on the daemon's scan). 0 means
+	// swap.DefaultAIOWindow.
+	PageoutWindow int
+	// ReclaimWorkers is the number of parallel reclaim workers the
+	// daemon dispatches per round, each scanning a disjoint range of the
+	// sharded page queues. 0 or 1 keeps the classic single scan, whose
+	// operation order is byte-deterministic on single-threaded runs.
+	ReclaimWorkers int
+	// PageinCluster is the largest clustered-pagein window, in pages: on
+	// a swap-backed anon fault, up to this many adjacent allocated slots
+	// are read with one I/O (the read-side mirror of clustered pageout).
+	// 0 or 1 disables clustering and pages in one slot at a time.
+	PageinCluster int
 }
 
 // DefaultConfig returns UVM's standard tuning.
@@ -152,6 +191,9 @@ func BootConfig(m *vmapi.Machine, cfg Config) *System {
 	}
 
 	if !cfg.InlineReclaim {
+		if cfg.PageoutWindow > 0 {
+			m.Swap.SetAIOWindow(cfg.PageoutWindow)
+		}
 		s.pd = newPagedaemon(s, s.lowWater())
 		m.Mem.SetLowWater(s.pd.low, s.pd.kick)
 		go s.pd.run()
@@ -179,12 +221,15 @@ func (s *System) lowWater() int {
 }
 
 // Shutdown implements vmapi.System: it stops the pagedaemon goroutine,
-// releasing any allocators blocked on it, and waits for it to exit. The
-// system remains usable — reclaim falls back to running inline in
-// allocating goroutines — so shutdown order is forgiving. Idempotent.
+// releasing any allocators blocked on it, waits for it to exit, and then
+// drains any asynchronous pageout writes still in flight so no completion
+// callback touches VM structures after Shutdown returns. The system
+// remains usable — reclaim falls back to running inline in allocating
+// goroutines — so shutdown order is forgiving. Idempotent.
 func (s *System) Shutdown() {
 	if s.pd != nil {
 		s.pd.stop()
+		s.mach.Swap.DrainAsync()
 	}
 }
 

@@ -67,6 +67,12 @@ type MachineConfig struct {
 	SwapPages int64 // swap partition size, in slots
 	FSPages   int64 // filesystem disk size, in blocks
 	MaxVnodes int   // kernel vnode table size (desiredvnodes)
+
+	// SwapAIOWindow bounds in-flight asynchronous cluster writes per
+	// swap device (a property of the disk queue, not of the VM system
+	// using it). 0 keeps swap.DefaultAIOWindow; uvm.Config.PageoutWindow
+	// can still override it at boot.
+	SwapAIOWindow int
 }
 
 // DefaultConfig is a 32 MB Pentium-II class machine matching the paper's
@@ -102,13 +108,17 @@ func NewMachine(cfg MachineConfig) *Machine {
 	stats := sim.NewStats()
 	fsDisk := disk.New(clock, costs, stats, cfg.FSPages)
 	swDisk := disk.New(clock, costs, stats, cfg.SwapPages)
+	sw := swap.New(clock, costs, stats, swDisk)
+	if cfg.SwapAIOWindow > 0 {
+		sw.SetAIOWindow(cfg.SwapAIOWindow)
+	}
 	return &Machine{
 		Clock:    clock,
 		Costs:    costs,
 		Stats:    stats,
 		Mem:      phys.NewMem(clock, costs, stats, cfg.RAMPages),
 		MMU:      pmap.NewMMU(clock, costs, stats),
-		Swap:     swap.New(clock, costs, stats, swDisk),
+		Swap:     sw,
 		FS:       vfs.NewFS(clock, costs, stats, fsDisk, cfg.MaxVnodes),
 		FSDisk:   fsDisk,
 		SwapDisk: swDisk,

@@ -5,7 +5,12 @@
 #   1. broken relative links in any *.md file (http(s)/mailto links and
 #      pure #anchors are not checked);
 #   2. Go packages without a package comment ("// Package ..." for
-#      libraries, "// Command ..." for main packages).
+#      libraries, "// Command ..." for main packages);
+#   3. undocumented exported identifiers (top-level funcs, methods,
+#      types, vars and consts without a doc comment) in internal/swap
+#      and internal/uvm — the subsystems whose documentation this repo
+#      commits to keeping current. Members of grouped const/var blocks
+#      are outside the check's scope.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 fail=0
@@ -33,6 +38,23 @@ done < <(find . -name '*.md' -not -path './.git/*')
 for dir in $(go list -f '{{.Dir}}' ./...); do
   if ! grep -qE '^// (Package|Command) ' "$dir"/*.go; then
     echo "package $dir lacks a package comment (// Package ... or // Command ...)"
+    fail=1
+  fi
+done
+
+# --- 3. exported identifiers in internal/swap and internal/uvm -----------
+for f in internal/swap/*.go internal/uvm/*.go; do
+  case "$f" in *_test.go) continue ;; esac
+  if ! awk -v file="$f" '
+    /^(func|type|var|const) [A-Z]/ || /^func \([^)]*\) [A-Z]/ {
+      if (prev !~ /^\/\//) {
+        printf "undocumented exported identifier in %s:%d: %s\n", file, NR, $0
+        bad = 1
+      }
+    }
+    { prev = $0 }
+    END { exit bad }
+  ' "$f"; then
     fail=1
   fi
 done
