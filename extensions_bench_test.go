@@ -5,10 +5,17 @@ package bench
 // the unified buffer cache (§10).
 
 import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"uvm/internal/param"
+	"uvm/internal/phys"
+	"uvm/internal/pmap"
 	"uvm/internal/sim"
 	"uvm/internal/uvm"
 	"uvm/internal/vmapi"
@@ -97,6 +104,76 @@ func BenchmarkAblationHybridAmap(b *testing.B) {
 			b.ReportMetric(float64(arr.Nanoseconds()), "sim-ns-array")
 			b.ReportMetric(float64(hyb.Nanoseconds()), "sim-ns-hybrid")
 		}
+	}
+}
+
+// BenchmarkPVContention measures the sharded pmap reverse map against
+// the single-mutex layout it replaced: GOMAXPROCS workers, each with its
+// own pmap (its own simulated address space, as in parallel faults
+// across processes), hammer Enter with rotating pages, so every
+// operation removes one pv entry and adds another. With one bucket all
+// workers serialise on one mutex; with 64 the bucket locks spread by
+// frame number and the contended share collapses. The pv-contended-%
+// metric reports it per configuration. Set UVM_PV_SHARDS to benchmark a
+// specific shard count instead of the default pair.
+func BenchmarkPVContention(b *testing.B) {
+	configs := []struct {
+		name   string
+		shards int
+	}{{"single-mutex", 1}, {"sharded-64", 64}}
+	if env := os.Getenv("UVM_PV_SHARDS"); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil {
+			b.Fatalf("UVM_PV_SHARDS=%q: %v", env, err)
+		}
+		configs = configs[:0]
+		configs = append(configs, struct {
+			name   string
+			shards int
+		}{fmt.Sprintf("env-%d", n), n})
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			const workerPages = 128
+			clock := sim.NewClock()
+			costs := sim.DefaultCosts()
+			stats := sim.NewStats()
+			// RAM sized from the worker count RunParallel will spawn, so
+			// many-core hosts do not run the free list dry.
+			mem := phys.NewMem(clock, costs, stats, runtime.GOMAXPROCS(0)*workerPages+1024)
+			mmu := pmap.NewMMU(clock, costs, stats)
+			mmu.SetPVShards(cfg.shards)
+
+			var workerID atomic.Int32
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				id := workerID.Add(1)
+				pm := mmu.NewPmap(fmt.Sprintf("w%d", id))
+				pages := make([]*phys.Page, workerPages)
+				for i := range pages {
+					pg, err := mem.Alloc(nil, 0, false)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					pages[i] = pg
+				}
+				base := param.MmapHintBase + param.VAddr(id)<<26
+				i := 0
+				for pb.Next() {
+					// Same VA, different page each time: every Enter is a
+					// replacement — one pv removal, one pv insertion.
+					pm.Enter(base+param.VAddr(i%8)*param.PageSize,
+						pages[i%workerPages], param.ProtRW, false)
+					i++
+				}
+				pm.RemoveAll()
+			})
+			b.StopTimer()
+			if acq := stats.Get(sim.CtrPVAcquires); acq > 0 {
+				b.ReportMetric(100*float64(stats.Get(sim.CtrPVContended))/float64(acq), "pv-contended-%")
+			}
+		})
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"uvm/internal/param"
+	"uvm/internal/sim"
 	"uvm/internal/vmapi"
 )
 
@@ -32,6 +33,23 @@ type ScalingPoint struct {
 	Faults     int64         // faults taken during the measurement
 	Wall       time.Duration // wall-clock elapsed
 	PerSecond  float64       // Faults / Wall
+
+	// pv-lock traffic on the pmap reverse map during the run: how often a
+	// bucket lock was taken, and how often the taker had to wait. With
+	// the sharded pv table the contended share stays near zero as
+	// goroutines are added; a single-mutex table (pmap.MMU.SetPVShards(1))
+	// is where the contention shows.
+	PVAcquires  int64
+	PVContended int64
+}
+
+// PVContentionRatio returns the contended share of pv bucket lock
+// acquisitions (0 when the run took none).
+func (p ScalingPoint) PVContentionRatio() float64 {
+	if p.PVAcquires == 0 {
+		return 0
+	}
+	return float64(p.PVContended) / float64(p.PVAcquires)
 }
 
 // scalingFaultsPerWorker bounds each worker's share of work so the
@@ -123,11 +141,13 @@ func scalingRun(name string, boot vmapi.Booter, workers int) (ScalingPoint, erro
 
 	total := int64(workers) * scalingFaultsPerWorker
 	return ScalingPoint{
-		System:     name,
-		Goroutines: workers,
-		Faults:     total,
-		Wall:       wall,
-		PerSecond:  float64(total) / wall.Seconds(),
+		System:      name,
+		Goroutines:  workers,
+		Faults:      total,
+		Wall:        wall,
+		PerSecond:   float64(total) / wall.Seconds(),
+		PVAcquires:  mach.Stats.Get(sim.CtrPVAcquires),
+		PVContended: mach.Stats.Get(sim.CtrPVContended),
 	}, nil
 }
 
@@ -144,8 +164,9 @@ func ReportScaling(w io.Writer, boots []NamedBooter) error {
 		}
 		base := points[0].PerSecond
 		for _, pt := range points {
-			fmt.Fprintf(w, "%-6s %2d goroutines: %9.0f faults/s  (%.2fx)\n",
-				pt.System, pt.Goroutines, pt.PerSecond, pt.PerSecond/base)
+			fmt.Fprintf(w, "%-6s %2d goroutines: %9.0f faults/s  (%.2fx)  pv-contention %5.2f%% (%d/%d)\n",
+				pt.System, pt.Goroutines, pt.PerSecond, pt.PerSecond/base,
+				100*pt.PVContentionRatio(), pt.PVContended, pt.PVAcquires)
 		}
 	}
 	return nil

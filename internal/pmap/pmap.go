@@ -10,6 +10,32 @@
 // maps it, which is what makes pmap_page_protect — write-protecting or
 // removing all mappings of a page for copy-on-write and pageout — possible.
 //
+// # The sharded reverse map
+//
+// The pv table is shared by every address space on the machine, so a
+// single mutex around it would serialise all faults system-wide — the
+// exact serialisation point the fine-grained VM locking was built to
+// avoid. It is therefore sharded: pvShards buckets, each its own mutex
+// plus page→pv-list map, a page hashing to the bucket of its physical
+// frame number. Page-level operations (Enter, Remove, PageProtect, pv
+// walks) lock only the one bucket their page hashes to, so faults in
+// different address spaces — which overwhelmingly touch different frames
+// — proceed without contending.
+//
+// Locking: a pmap's own mutex (p.mu, guarding its page table) nests
+// ABOVE pv bucket locks — Enter/Remove update the page table and the
+// reverse map under p.mu so the two stay mutually inverse at every
+// instant. At most one bucket is ever held at a time (batch operations
+// visit their buckets one after another in ascending index), and bucket
+// locks are leaves: nothing is acquired under them. PageProtect snapshots
+// a page's pv list under its bucket and releases the bucket before
+// touching any pmap, so it never holds a bucket and a pmap mutex
+// together in the reverse order.
+//
+// Bucket lock traffic is counted in the pmap.pv.* stats (acquisitions
+// and contended acquisitions); experiments.Scaling reports the ratio as
+// fault-path pv contention.
+//
 // The simulated processor is i386-like: each 4 MB-aligned region of a
 // pmap's virtual address space that contains at least one mapping needs a
 // page-table page, which is wired kernel memory. Whose bookkeeping records
@@ -30,10 +56,24 @@ import (
 // page maps 4 MB (1024 PTEs of 4 KB).
 const ptRegionShift = 22
 
+// pvShards is the number of reverse-map buckets. 64 comfortably exceeds
+// any plausible host core count, so two concurrent faults on different
+// frames almost never share a bucket; being a power of two keeps the
+// frame-number hash a mask.
+const pvShards = 64
+
 // PTE is one translation: virtual page -> physical frame with a hardware
 // protection. Wired marks translations that must not be torn down by
 // pageout (the pmap-level wired attribute).
 type PTE struct {
+	Page  *phys.Page
+	Prot  param.Prot
+	Wired bool
+}
+
+// BatchEntry is one translation for Pmap.EnterBatch.
+type BatchEntry struct {
+	VA    param.VAddr
 	Page  *phys.Page
 	Prot  param.Prot
 	Wired bool
@@ -44,19 +84,114 @@ type pv struct {
 	va param.VAddr
 }
 
-// MMU is the machine: it owns the reverse (pv) table shared by all pmaps.
+// pvBucket is one shard of the reverse map: the pv lists of every page
+// whose frame number hashes here, under the bucket's own mutex.
+type pvBucket struct {
+	mu  sync.Mutex
+	rev map[*phys.Page][]pv
+}
+
+// removeLocked drops the (pm, va) entry from pg's pv list. Caller holds
+// the bucket's mutex.
+func (b *pvBucket) removeLocked(pg *phys.Page, pm *Pmap, va param.VAddr) {
+	list := b.rev[pg]
+	for i, e := range list {
+		if e.pm == pm && e.va == va {
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(b.rev, pg)
+	} else {
+		b.rev[pg] = list
+	}
+}
+
+// MMU is the machine: it owns the sharded reverse (pv) table shared by
+// all pmaps.
 type MMU struct {
 	clock *sim.Clock
 	costs *sim.Costs
 	stats *sim.Stats
 
-	mu  sync.Mutex
-	rev map[*phys.Page][]pv
+	// shards is the number of live buckets (a power of two ≤ pvShards).
+	// Set once at boot — before any translation exists — by SetPVShards;
+	// 1 degrades the table to the classic single-mutex layout, kept as
+	// the measured contrast for BenchmarkPVContention.
+	shards  int
+	buckets [pvShards]pvBucket
+
+	// Cached counter cells: the fault path bumps these on every bucket
+	// acquisition, so the name lookup is paid once here.
+	ctrAcquires   sim.Counter
+	ctrContended  sim.Counter
+	ctrBatches    sim.Counter
+	ctrBatchPages sim.Counter
 }
 
 // NewMMU creates the machine's MMU.
 func NewMMU(clock *sim.Clock, costs *sim.Costs, stats *sim.Stats) *MMU {
-	return &MMU{clock: clock, costs: costs, stats: stats, rev: make(map[*phys.Page][]pv)}
+	m := &MMU{
+		clock:         clock,
+		costs:         costs,
+		stats:         stats,
+		shards:        pvShards,
+		ctrAcquires:   stats.Counter(sim.CtrPVAcquires),
+		ctrContended:  stats.Counter(sim.CtrPVContended),
+		ctrBatches:    stats.Counter(sim.CtrPVBatches),
+		ctrBatchPages: stats.Counter(sim.CtrPVBatchPages),
+	}
+	for i := range m.buckets {
+		m.buckets[i].rev = make(map[*phys.Page][]pv)
+	}
+	return m
+}
+
+// SetPVShards restricts the reverse map to n buckets (rounded down to a
+// power of two, clamped to [1, 64]). It exists so benchmarks and
+// experiments can compare the sharded table against the single-mutex
+// layout (n=1); production boots keep the default. Must be called before
+// any translation is entered — it panics if mappings already exist.
+func (m *MMU) SetPVShards(n int) {
+	for i := range m.buckets {
+		m.buckets[i].mu.Lock()
+		populated := len(m.buckets[i].rev) > 0
+		m.buckets[i].mu.Unlock()
+		if populated {
+			panic("pmap: SetPVShards after mappings exist")
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > pvShards {
+		n = pvShards
+	}
+	for n&(n-1) != 0 {
+		n &= n - 1 // round down to a power of two
+	}
+	m.shards = n
+}
+
+// bucketIndex hashes a page to its reverse-map bucket: the physical frame
+// number masked by the live shard count, so adjacent frames land in
+// different buckets.
+func (m *MMU) bucketIndex(pg *phys.Page) int {
+	return int(uint64(pg.PA)>>param.PageShift) & (m.shards - 1)
+}
+
+func (m *MMU) bucketOf(pg *phys.Page) *pvBucket { return &m.buckets[m.bucketIndex(pg)] }
+
+// lockBucket acquires b counting the acquisition, and whether it had to
+// wait, in the pmap.pv.* stats.
+func (m *MMU) lockBucket(b *pvBucket) {
+	if !b.mu.TryLock() {
+		m.ctrContended.Inc()
+		b.mu.Lock()
+	}
+	m.ctrAcquires.Inc()
 }
 
 // Pmap is the translation state for one address space.
@@ -87,17 +222,16 @@ func (m *MMU) NewPmap(name string) *Pmap {
 	}
 }
 
+// String names the pmap's address space in panics and test failures.
 func (p *Pmap) String() string { return fmt.Sprintf("pmap(%s)", p.name) }
 
-// Enter establishes (or replaces) the translation for va. The page gains a
-// pv entry so page-level operations can find this mapping.
-func (p *Pmap) Enter(va param.VAddr, pg *phys.Page, prot param.Prot, wired bool) {
-	if !param.PageAligned(va) {
-		panic("pmap: unaligned Enter")
-	}
-	p.mmu.clock.Advance(p.mmu.costs.PmapEnter)
-
-	p.mu.Lock()
+// applyPTLocked updates the page table for one translation — PTE write,
+// page-table region refcount, wired accounting — and reports the
+// reverse-map delta the caller must apply: the replaced page whose pv
+// entry must go (nil if none) and whether pg needs a new pv entry.
+// Caller holds p.mu; both Enter and EnterBatch funnel through here so
+// their bookkeeping cannot drift apart.
+func (p *Pmap) applyPTLocked(va param.VAddr, pg *phys.Page, prot param.Prot, wired bool) (removeOld *phys.Page, add bool) {
 	old, had := p.pt[va]
 	p.pt[va] = PTE{Page: pg, Prot: prot, Wired: wired}
 	if !had {
@@ -109,16 +243,98 @@ func (p *Pmap) Enter(va param.VAddr, pg *phys.Page, prot param.Prot, wired bool)
 	if wired {
 		p.wired++
 	}
-	p.mu.Unlock()
-
-	p.mmu.mu.Lock()
 	if had && old.Page != pg {
-		p.mmu.removePVLocked(old.Page, p, va)
+		removeOld = old.Page
 	}
-	if !had || old.Page != pg {
-		p.mmu.rev[pg] = append(p.mmu.rev[pg], pv{p, va})
+	return removeOld, !had || old.Page != pg
+}
+
+// Enter establishes (or replaces) the translation for va. The page gains a
+// pv entry so page-level operations can find this mapping.
+func (p *Pmap) Enter(va param.VAddr, pg *phys.Page, prot param.Prot, wired bool) {
+	if !param.PageAligned(va) {
+		panic("pmap: unaligned Enter")
 	}
-	p.mmu.mu.Unlock()
+	p.mmu.clock.Advance(p.mmu.costs.PmapEnter)
+
+	p.mu.Lock()
+	removeOld, add := p.applyPTLocked(va, pg, prot, wired)
+	if removeOld != nil {
+		b := p.mmu.bucketOf(removeOld)
+		p.mmu.lockBucket(b)
+		b.removeLocked(removeOld, p, va)
+		b.mu.Unlock()
+	}
+	if add {
+		b := p.mmu.bucketOf(pg)
+		p.mmu.lockBucket(b)
+		b.rev[pg] = append(b.rev[pg], pv{p, va})
+		b.mu.Unlock()
+	}
+	p.mu.Unlock()
+}
+
+// EnterBatch establishes every translation in entries, exactly as the
+// equivalent sequence of Enter calls would, but takes the pmap mutex once
+// and each affected pv bucket once for the whole batch instead of once
+// per page. The batched fault-ahead path uses it to amortise lock traffic
+// across the advice window. VAs must be page-aligned; the per-entry
+// PmapEnter cost is charged as usual, so a batch costs the same simulated
+// time as the loop it replaces.
+func (p *Pmap) EnterBatch(entries []BatchEntry) {
+	if len(entries) == 0 {
+		return
+	}
+	for _, be := range entries {
+		if !param.PageAligned(be.VA) {
+			panic("pmap: unaligned EnterBatch")
+		}
+	}
+	p.mmu.clock.ChargeN(len(entries), p.mmu.costs.PmapEnter)
+	p.mmu.ctrBatches.Inc()
+	p.mmu.ctrBatchPages.Add(int64(len(entries)))
+
+	// pvOp is one reverse-map edit; ops are grouped by bucket so each
+	// bucket is locked once, and applied in append order within a bucket
+	// so a remove-then-add pair for one VA lands in sequence.
+	type pvOp struct {
+		pg  *phys.Page
+		va  param.VAddr
+		add bool
+	}
+	var ops [pvShards][]pvOp
+
+	p.mu.Lock()
+	for _, be := range entries {
+		removeOld, add := p.applyPTLocked(be.VA, be.Page, be.Prot, be.Wired)
+		if removeOld != nil {
+			i := p.mmu.bucketIndex(removeOld)
+			ops[i] = append(ops[i], pvOp{pg: removeOld, va: be.VA})
+		}
+		if add {
+			i := p.mmu.bucketIndex(be.Page)
+			ops[i] = append(ops[i], pvOp{pg: be.Page, va: be.VA, add: true})
+		}
+	}
+	// Ascending bucket order, one bucket held at a time, still under
+	// p.mu so the batch is atomic against Remove/PageProtect on this
+	// pmap.
+	for i := range ops {
+		if len(ops[i]) == 0 {
+			continue
+		}
+		b := &p.mmu.buckets[i]
+		p.mmu.lockBucket(b)
+		for _, op := range ops[i] {
+			if op.add {
+				b.rev[op.pg] = append(b.rev[op.pg], pv{p, op.va})
+			} else {
+				b.removeLocked(op.pg, p, op.va)
+			}
+		}
+		b.mu.Unlock()
+	}
+	p.mu.Unlock()
 }
 
 // Remove tears down all translations in [start, end).
@@ -128,10 +344,16 @@ func (p *Pmap) Remove(start, end param.VAddr) {
 	}
 }
 
-func (p *Pmap) removeOne(va param.VAddr) {
+func (p *Pmap) removeOne(va param.VAddr) { p.removeIf(va, nil) }
+
+// removeIf tears down va's translation. With only non-nil the teardown
+// happens just when the translation still maps that page: PageProtect
+// works from a pv snapshot taken under the bucket lock, and a
+// translation replaced after the snapshot must not be collateral damage.
+func (p *Pmap) removeIf(va param.VAddr, only *phys.Page) {
 	p.mu.Lock()
 	pte, ok := p.pt[va]
-	if !ok {
+	if !ok || (only != nil && pte.Page != only) {
 		p.mu.Unlock()
 		return
 	}
@@ -140,12 +362,13 @@ func (p *Pmap) removeOne(va param.VAddr) {
 	if pte.Wired {
 		p.wired--
 	}
+	b := p.mmu.bucketOf(pte.Page)
+	p.mmu.lockBucket(b)
+	b.removeLocked(pte.Page, p, va)
+	b.mu.Unlock()
 	p.mu.Unlock()
 
 	p.mmu.clock.Advance(p.mmu.costs.PmapRemove)
-	p.mmu.mu.Lock()
-	p.mmu.removePVLocked(pte.Page, p, va)
-	p.mmu.mu.Unlock()
 }
 
 // Protect narrows the hardware protection of every translation in
@@ -259,33 +482,20 @@ func (p *Pmap) RemoveAll() {
 	}
 }
 
-func (m *MMU) removePVLocked(pg *phys.Page, pm *Pmap, va param.VAddr) {
-	list := m.rev[pg]
-	for i, e := range list {
-		if e.pm == pm && e.va == va {
-			list[i] = list[len(list)-1]
-			list = list[:len(list)-1]
-			break
-		}
-	}
-	if len(list) == 0 {
-		delete(m.rev, pg)
-	} else {
-		m.rev[pg] = list
-	}
-}
-
 // PageProtect narrows the protection of every mapping of pg, in every
 // pmap, to prot. ProtNone removes all mappings. This is the pmap primitive
-// behind copy-on-write write-protection at fork and behind pageout.
+// behind copy-on-write write-protection at fork and behind pageout. Only
+// pg's own pv bucket is locked (to snapshot the mapping list), so
+// PageProtect calls on pages in different buckets do not contend.
 func (m *MMU) PageProtect(pg *phys.Page, prot param.Prot) {
-	m.mu.Lock()
-	entries := append([]pv(nil), m.rev[pg]...)
-	m.mu.Unlock()
+	b := m.bucketOf(pg)
+	m.lockBucket(b)
+	entries := append([]pv(nil), b.rev[pg]...)
+	b.mu.Unlock()
 
 	if prot == param.ProtNone {
 		for _, e := range entries {
-			e.pm.removeOne(e.va)
+			e.pm.removeIf(e.va, pg)
 		}
 		return
 	}
@@ -302,9 +512,10 @@ func (m *MMU) PageProtect(pg *phys.Page, prot param.Prot) {
 
 // PageMappings returns how many translations currently map pg.
 func (m *MMU) PageMappings(pg *phys.Page) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.rev[pg])
+	b := m.bucketOf(pg)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.rev[pg])
 }
 
 // PageReferenced gathers and clears the simulated reference bit for pg.

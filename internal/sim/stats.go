@@ -73,6 +73,23 @@ func (s *Stats) Max(name string, v int64) {
 	}
 }
 
+// Counter is a cached handle to one counter cell, for hot paths that bump
+// the same counter on every operation and cannot afford the name lookup.
+// A handle taken before Stats.Reset keeps writing to the old (discarded)
+// generation of the cell; like Reset itself, handles are meant to be
+// taken once at subsystem construction, not interleaved with resets.
+type Counter struct{ v *int64 }
+
+// Counter returns a cached handle for name, creating the cell on first
+// use.
+func (s *Stats) Counter(name string) Counter { return Counter{v: s.cell(name)} }
+
+// Inc increments the counter by one.
+func (c Counter) Inc() { atomic.AddInt64(c.v, 1) }
+
+// Add increments the counter by delta.
+func (c Counter) Add(delta int64) { atomic.AddInt64(c.v, delta) }
+
 // Snapshot returns a copy of all counters.
 func (s *Stats) Snapshot() map[string]int64 {
 	out := make(map[string]int64)
@@ -158,4 +175,12 @@ const (
 	CtrPdWorkerRounds  = "uvm.pdaemon.worker.rounds"  // per-worker reclaim passes
 	CtrPageinClusters  = "uvm.pagein.clusters"        // clustered pagein I/Os
 	CtrPageinClustered = "uvm.pagein.clustered"       // extra pages brought in by clustering
+
+	// Sharded pmap reverse-map (pv) counters (internal/pmap). The
+	// contended/acquires ratio is the fault path's pv-lock contention;
+	// experiments.Scaling reports it at each goroutine count.
+	CtrPVAcquires   = "pmap.pv.acquires"     // pv bucket lock acquisitions
+	CtrPVContended  = "pmap.pv.contended"    // acquisitions that found the bucket held
+	CtrPVBatches    = "pmap.pv.batch.enters" // Pmap.EnterBatch calls
+	CtrPVBatchPages = "pmap.pv.batch.pages"  // translations entered via EnterBatch
 )

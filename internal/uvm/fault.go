@@ -3,6 +3,7 @@ package uvm
 import (
 	"uvm/internal/param"
 	"uvm/internal/phys"
+	"uvm/internal/pmap"
 	"uvm/internal/sim"
 	"uvm/internal/swap"
 	"uvm/internal/vmapi"
@@ -342,70 +343,161 @@ func (s *System) faultAnon(e *entry, am *amap, a *anon, slot int, write bool) (*
 
 // lookahead maps in resident neighbour pages around a fault (§5.4). Only
 // pages already resident are touched — "this mechanism only works for
-// resident pages"; nothing is paged in. Each neighbour is resolved and
-// entered under its owner's lock, mirroring the main fault path.
+// resident pages"; nothing is paged in.
+//
+// The window is resolved as a batch: one amap lock acquisition and at
+// most one object lock acquisition cover every candidate (instead of
+// re-acquiring per neighbour), and the translations enter the pmap
+// through one Pmap.EnterBatch, which takes the pmap mutex and each pv
+// bucket once for the whole window. Every collected page's owner (anon
+// or object) stays locked from collection through the batch entry, so
+// reclaim — which TryLocks owners — can never free a collected page
+// before it is mapped.
+//
+// Lookahead is opportunistic — a neighbour it cannot have cheaply is a
+// neighbour skipped — so owners are acquired with TryLock only: a busy
+// anon (e.g. mid-pageout, its lock held across the async cluster I/O)
+// drops out instead of stalling the window. The object lock is taken
+// lazily, only when some candidate actually lacks an anon: an
+// amap-covered window over a file mapping never touches the shared
+// object mutex at all. When the amap is held the object acquisition is
+// out of the map -> object -> amap -> anon order, which is safe
+// precisely because it never blocks (TryLock; on failure the
+// object-layer candidates are dropped).
+//
+// The window is clamped to the entry underflow-safely: VAddr is
+// unsigned, so base - behind*PageSize is formed only when it cannot wrap
+// below e.start (an entry mapped near address zero used to push the
+// behind window through the wraparound, silently skipping in-range
+// behind pages).
+//
+// A VA whose amap slot holds an anon belongs to the anon layer whether
+// or not the anon is resident: a swapped-out anon's data shadows the
+// object's copy, so the object page below it is never mapped (the
+// per-page path used to fall through to the object layer here and could
+// map stale file data under a swapped-out private copy).
 func (s *System) lookahead(p *Process, e *entry, faultVA param.VAddr) {
 	ahead, behind := e.advice.Lookahead()
+	if ahead == 0 && behind == 0 {
+		return
+	}
 	base := param.Trunc(faultVA)
-	for d := -behind; d <= ahead; d++ {
-		if d == 0 {
-			continue
-		}
-		va := base + param.VAddr(d)*param.PageSize
-		if va < e.start || va >= e.end {
+	lo := e.start
+	if span := param.VAddr(behind) * param.PageSize; base-e.start > span {
+		lo = base - span
+	}
+	hi := base + param.VAddr(ahead+1)*param.PageSize
+	if hi > e.end {
+		hi = e.end
+	}
+
+	// Candidate VAs: the window minus the faulting page and anything the
+	// pmap already maps.
+	var vas []param.VAddr
+	for va := lo; va < hi; va += param.PageSize {
+		if va == base {
 			continue
 		}
 		if _, ok := p.pm.Lookup(va); ok {
 			continue
 		}
-		var (
-			pg      *phys.Page
-			prot    = e.prot
-			release func()
-		)
-		if am := e.amap; am != nil {
-			am.mu.Lock()
+		vas = append(vas, va)
+	}
+	if len(vas) == 0 {
+		return
+	}
+
+	batch := make([]pmap.BatchEntry, 0, len(vas))
+	var lockedAnons []*anon
+	o := e.obj
+	objHeld := false
+	if am := e.amap; am != nil {
+		am.mu.Lock()
+		for _, va := range vas {
 			if a := am.impl.get(e.slotOf(va)); a != nil {
-				a.mu.Lock()
-				if a.page != nil {
-					pg = a.page
-					if a.refs > 1 || pg.Loaned() {
-						prot &^= param.ProtWrite
-					}
-					release = func() { a.mu.Unlock() }
-				} else {
-					a.mu.Unlock()
+				// The anon owns this VA even when swapped out — never
+				// fall through to the (possibly stale) object copy
+				// beneath it. A busy anon just drops out of the window.
+				if !a.mu.TryLock() {
+					continue
 				}
-			}
-			am.mu.Unlock()
-		}
-		if pg == nil && e.obj != nil {
-			o := e.obj
-			o.mu.Lock()
-			if op, ok := o.pages[e.objIndex(va)]; ok && !op.Busy.Load() {
-				pg = op
-				if e.cow {
+				if a.page == nil || a.page.WireCount.Load() > 0 {
+					a.mu.Unlock()
+					continue
+				}
+				prot := e.prot
+				if e.needsCopy || a.refs > 1 || a.page.Loaned() {
 					prot &^= param.ProtWrite
 				}
-				release = func() { o.mu.Unlock() }
-			} else {
-				o.mu.Unlock()
+				lockedAnons = append(lockedAnons, a)
+				batch = append(batch, pmap.BatchEntry{VA: va, Page: a.page, Prot: prot, Wired: e.wired > 0})
+				continue
+			}
+			if o == nil {
+				continue
+			}
+			if !objHeld {
+				// Lazy and out of lock order (the amap is held), so
+				// TryLock only: failure drops the object-layer
+				// candidates rather than risking a blocking cycle.
+				if !o.mu.TryLock() {
+					o = nil
+					continue
+				}
+				objHeld = true // held through EnterBatch
+			}
+			if be, ok := s.lookaheadObjPage(e, o, va); ok {
+				batch = append(batch, be)
 			}
 		}
-		if pg == nil {
-			continue
+		am.mu.Unlock()
+	} else if o != nil {
+		o.mu.Lock() // in order: nothing else is held
+		objHeld = true
+		for _, va := range vas {
+			if be, ok := s.lookaheadObjPage(e, o, va); ok {
+				batch = append(batch, be)
+			}
 		}
-		if pg.WireCount.Load() > 0 {
-			release()
-			continue
-		}
-		if e.needsCopy {
-			prot &^= param.ProtWrite
-		}
-		pg.Referenced.Store(true)
-		p.pm.Enter(va, pg, prot, e.wired > 0)
-		s.mach.Mem.Activate(pg)
-		release()
-		s.mach.Stats.Inc("uvm.lookahead.mapped")
 	}
+
+	if gate := s.lookaheadGate; gate != nil {
+		gate()
+	}
+
+	if len(batch) > 0 {
+		for _, be := range batch {
+			be.Page.Referenced.Store(true)
+		}
+		p.pm.EnterBatch(batch)
+		for _, be := range batch {
+			// Same guard as the main fault path: loaned pages stay off
+			// the paging queues.
+			if be.Page.WireCount.Load() == 0 && !be.Page.Loaned() {
+				s.mach.Mem.Activate(be.Page)
+			}
+		}
+		s.mach.Stats.Add("uvm.lookahead.mapped", int64(len(batch)))
+	}
+	for _, a := range lockedAnons {
+		a.mu.Unlock()
+	}
+	if objHeld {
+		o.mu.Unlock()
+	}
+}
+
+// lookaheadObjPage finds the resident object page for one candidate VA
+// of the lookahead window. Called with o.mu held; the caller keeps it
+// held until after the batched pmap entry.
+func (s *System) lookaheadObjPage(e *entry, o *uobject, va param.VAddr) (pmap.BatchEntry, bool) {
+	op, ok := o.pages[e.objIndex(va)]
+	if !ok || op.Busy.Load() || op.WireCount.Load() > 0 {
+		return pmap.BatchEntry{}, false
+	}
+	prot := e.prot
+	if e.needsCopy || e.cow {
+		prot &^= param.ProtWrite
+	}
+	return pmap.BatchEntry{VA: va, Page: op, Prot: prot, Wired: e.wired > 0}, true
 }

@@ -41,6 +41,21 @@
 // locks. Two map locks nest only parent-before-child during fork (the
 // child is not yet visible to any other goroutine).
 //
+// Within the pmap leaf there is one further level: a pmap's own mutex
+// nests above the MMU's sharded reverse-map (pv) bucket locks, at most
+// one bucket is held at a time (batch operations visit buckets in
+// ascending index, one after another), and bucket locks are strict
+// leaves — nothing is acquired under them (see the locking note in
+// internal/pmap). The batched fault-ahead path (lookahead) resolves its
+// whole advice window under one amap lock acquisition — candidate anons
+// are TryLocked, busy neighbours drop out — plus at most one object
+// acquisition taken lazily when a candidate lacks an anon; with the
+// amap held that object acquisition is out of order, which is safe
+// because it is TryLock-only and so can never form a blocking cycle.
+// The collected owner locks are held across a single Pmap.EnterBatch,
+// so reclaim's TryLock-and-skip protocol keeps those pages live until
+// they are mapped.
+//
 // # Pageout
 //
 // Reclaim runs in a dedicated pagedaemon goroutine (see pdaemon.go),
@@ -164,6 +179,12 @@ type System struct {
 
 	procMu sync.Mutex
 	procs  map[*Process]struct{}
+
+	// lookaheadGate, when non-nil, runs between lookahead's candidate
+	// collection and the batched pmap entry, with the candidates' owner
+	// locks held. Test hook: the lookahead-vs-reclaim race test uses it
+	// to run a reclaim pass inside the batching window.
+	lookaheadGate func()
 }
 
 // Boot boots UVM on machine m with default configuration.

@@ -7,10 +7,10 @@
 #   2. Go packages without a package comment ("// Package ..." for
 #      libraries, "// Command ..." for main packages);
 #   3. undocumented exported identifiers (top-level funcs, methods,
-#      types, vars and consts without a doc comment) in internal/swap
-#      and internal/uvm — the subsystems whose documentation this repo
-#      commits to keeping current. Members of grouped const/var blocks
-#      are outside the check's scope.
+#      types, vars and consts without a doc comment) in internal/swap,
+#      internal/uvm and internal/pmap — the subsystems whose
+#      documentation this repo commits to keeping current. Members of
+#      grouped const/var blocks are outside the check's scope.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 fail=0
@@ -42,8 +42,8 @@ for dir in $(go list -f '{{.Dir}}' ./...); do
   fi
 done
 
-# --- 3. exported identifiers in internal/swap and internal/uvm -----------
-for f in internal/swap/*.go internal/uvm/*.go; do
+# --- 3. exported identifiers in internal/swap, internal/uvm, internal/pmap
+for f in internal/swap/*.go internal/uvm/*.go internal/pmap/*.go; do
   case "$f" in *_test.go) continue ;; esac
   if ! awk -v file="$f" '
     /^(func|type|var|const) [A-Z]/ || /^func \([^)]*\) [A-Z]/ {
