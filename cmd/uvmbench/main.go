@@ -8,7 +8,7 @@
 //	uvmbench -list        list experiment ids
 //
 // Experiment ids: table1 table2 table3 fig2 fig5 fig6 datamove rc
-// scaling pressure reclaimbw.
+// scaling pressure reclaimbw objwb.
 package main
 
 import (

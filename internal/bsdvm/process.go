@@ -1,6 +1,8 @@
 package bsdvm
 
 import (
+	"sort"
+
 	"uvm/internal/param"
 	"uvm/internal/pmap"
 	"uvm/internal/vfs"
@@ -247,27 +249,38 @@ func (p *process) Munmap(addr param.VAddr, length param.VSize) error {
 	return nil
 }
 
-// Mprotect implements vmapi.Process.
+// Mprotect implements vmapi.Process. The range is clipped to page
+// boundaries before entries are split (clipping at a raw, unaligned
+// address would corrupt an entry's object geometry); same rule as UVM.
 func (p *process) Mprotect(addr param.VAddr, length param.VSize, prot param.Prot) error {
 	if p.exited {
 		return vmapi.ErrExited
 	}
 	p.sys.big.Lock()
 	defer p.sys.big.Unlock()
-	return p.m.protect(addr, addr+param.VAddr(param.RoundSize(length)), prot)
+	start, end := param.Trunc(addr), param.Round(addr+param.VAddr(length))
+	if length == 0 {
+		end = start
+	}
+	return p.m.protect(start, end, prot)
 }
 
-// Minherit implements vmapi.Process.
+// Minherit implements vmapi.Process. The range is clipped to page
+// boundaries so the inheritance covers exactly the pages it names and
+// never bleeds onto the rest of a large entry; same rule as UVM.
 func (p *process) Minherit(addr param.VAddr, length param.VSize, inh param.Inherit) error {
 	if p.exited {
 		return vmapi.ErrExited
+	}
+	if length == 0 {
+		return nil
 	}
 	p.sys.big.Lock()
 	defer p.sys.big.Unlock()
 	m := p.m
 	m.lock()
 	defer m.unlock()
-	for _, e := range m.entriesIn(addr, addr+param.VAddr(param.RoundSize(length))) {
+	for _, e := range m.entriesIn(param.Trunc(addr), param.Round(addr+param.VAddr(length))) {
 		e.inherit = inh
 	}
 	return nil
@@ -279,12 +292,15 @@ func (p *process) Madvise(addr param.VAddr, length param.VSize, adv param.Advice
 	if p.exited {
 		return vmapi.ErrExited
 	}
+	if length == 0 {
+		return nil
+	}
 	p.sys.big.Lock()
 	defer p.sys.big.Unlock()
 	m := p.m
 	m.lock()
 	defer m.unlock()
-	for _, e := range m.entriesIn(addr, addr+param.VAddr(param.RoundSize(length))) {
+	for _, e := range m.entriesIn(param.Trunc(addr), param.Round(addr+param.VAddr(length))) {
 		e.advice = adv
 	}
 	return nil
@@ -296,27 +312,43 @@ func (p *process) Msync(addr param.VAddr, length param.VSize) error {
 	if p.exited {
 		return vmapi.ErrExited
 	}
+	if length == 0 {
+		return nil
+	}
 	p.sys.big.Lock()
 	defer p.sys.big.Unlock()
 	m := p.m
 	m.lock()
 	defer m.unlock()
-	end := addr + param.VAddr(param.RoundSize(length))
+	// Page-rounded range, same rule as UVM: the flush covers exactly the
+	// pages [Trunc(addr), Round(addr+length)) touches.
+	start, end := param.Trunc(addr), param.Round(addr+param.VAddr(length))
 	for cur := m.head; cur != nil; cur = cur.next {
-		if cur.end <= addr || cur.start >= end || cur.obj == nil || cur.obj.vnode == nil {
+		if cur.end <= start || cur.start >= end || cur.obj == nil || cur.obj.vnode == nil {
 			continue
 		}
 		// Flush only the object pages the requested range maps.
 		lo, hi := cur.start, cur.end
-		if addr > lo {
-			lo = addr
+		if start > lo {
+			lo = start
 		}
 		if end < hi {
 			hi = end
 		}
 		loIdx, hiIdx := cur.pageIndex(lo), cur.pageIndex(hi-1)
-		for idx, pg := range cur.obj.pages {
-			if idx < loIdx || idx > hiIdx || !pg.Dirty.Load() {
+		// Snapshot and sort the resident indices: the write order decides
+		// the disk head's path, and Go map iteration order would make it
+		// (and so the simulated time) differ run to run.
+		idxs := make([]int, 0, len(cur.obj.pages))
+		for idx := range cur.obj.pages {
+			if idx >= loIdx && idx <= hiIdx {
+				idxs = append(idxs, idx)
+			}
+		}
+		sort.Ints(idxs)
+		for _, idx := range idxs {
+			pg := cur.obj.pages[idx]
+			if !pg.Dirty.Load() {
 				continue
 			}
 			if err := cur.obj.vnode.WritePage(idx, pg.Data); err != nil {

@@ -1,0 +1,181 @@
+package difftest
+
+import (
+	"testing"
+
+	"uvm/internal/param"
+	"uvm/internal/vmapi"
+)
+
+// Range-clipping difftests: Madvise, Minherit and Mprotect must apply to
+// exactly the pages the (page-rounded) range touches — never bleeding
+// onto the rest of a large entry, and never corrupting entry geometry
+// when the caller passes an unaligned address — and both systems must
+// agree.
+
+// clipMachine boots one system on a small standard machine.
+func clipMachine(boot vmapi.Booter) (vmapi.System, *vmapi.Machine) {
+	mach := vmapi.NewMachine(vmapi.MachineConfig{
+		RAMPages: 256, SwapPages: 512, FSPages: 256, MaxVnodes: 8,
+	})
+	return boot(mach), mach
+}
+
+// TestMinheritClipsToRange: InheritNone applied (with an unaligned
+// address) to the middle pages of a 16-page entry must leave the outer
+// pages inherited. Both systems must produce the same child image and
+// the same entry split.
+func TestMinheritClipsToRange(t *testing.T) {
+	// entries is the entry-count *delta* of the split: absolute counts
+	// differ by design (BSD VM keeps page-table placeholder entries in
+	// the process map — a Table 1 difference).
+	type result struct {
+		entries   int
+		childData [16]byte
+		childErrs [16]bool
+	}
+	results := map[string]result{}
+	for name, boot := range boots() {
+		name, boot := name, boot
+		t.Run(name, func(t *testing.T) {
+			sys, _ := clipMachine(boot)
+			defer sys.Shutdown()
+			p, err := sys.NewProcess("parent")
+			if err != nil {
+				t.Fatal(err)
+			}
+			va, err := p.Mmap(0, 16*param.PageSize, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 16; i++ {
+				if err := p.WriteBytes(va+param.VAddr(i)*param.PageSize, []byte{0x40 + byte(i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Unaligned address inside page 4, length covering through
+			// page 7: pages 4..7 — and only they — become InheritNone.
+			before := p.MapEntryCount()
+			if err := p.Minherit(va+4*param.PageSize+123, 3*param.PageSize+100, param.InheritNone); err != nil {
+				t.Fatal(err)
+			}
+			child, err := p.Fork("child")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var r result
+			r.entries = p.MapEntryCount() - before
+			buf := make([]byte, 1)
+			for i := 0; i < 16; i++ {
+				err := child.ReadBytes(va+param.VAddr(i)*param.PageSize, buf)
+				r.childErrs[i] = err != nil
+				if err == nil {
+					r.childData[i] = buf[0]
+				}
+				wantHole := i >= 4 && i <= 7
+				if wantHole != r.childErrs[i] {
+					t.Errorf("page %d: child access err=%v, want hole=%v", i, err, wantHole)
+				}
+				if !wantHole && err == nil && buf[0] != 0x40+byte(i) {
+					t.Errorf("page %d: child read %#x, want %#x", i, buf[0], 0x40+byte(i))
+				}
+			}
+			// Parent must still see everything.
+			for i := 0; i < 16; i++ {
+				if err := p.ReadBytes(va+param.VAddr(i)*param.PageSize, buf); err != nil {
+					t.Errorf("parent page %d unreadable after clip: %v", i, err)
+				}
+			}
+			results[name] = r
+		})
+	}
+	if len(results) == 2 && results["bsdvm"] != results["uvm"] {
+		t.Errorf("systems diverged: bsdvm %+v vs uvm %+v", results["bsdvm"], results["uvm"])
+	}
+}
+
+// TestMadviseClipsToRange: advice on a sub-range of a large entry splits
+// the entry at page boundaries (three entries afterwards) and both
+// systems agree on the split; the mapping stays fully usable, including
+// across the clip boundaries.
+func TestMadviseClipsToRange(t *testing.T) {
+	entryCounts := map[string]int{}
+	for name, boot := range boots() {
+		name, boot := name, boot
+		t.Run(name, func(t *testing.T) {
+			sys, _ := clipMachine(boot)
+			defer sys.Shutdown()
+			p, err := sys.NewProcess("p")
+			if err != nil {
+				t.Fatal(err)
+			}
+			va, err := p.Mmap(0, 16*param.PageSize, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			before := p.MapEntryCount()
+			// Unaligned address in page 5, end inside page 10: pages 5..10.
+			if err := p.Madvise(va+5*param.PageSize+7, 5*param.PageSize+1, param.AdviceSequential); err != nil {
+				t.Fatal(err)
+			}
+			after := p.MapEntryCount()
+			if after != before+2 {
+				t.Errorf("madvise split %d->%d entries, want a 3-way split (+2)", before, after)
+			}
+			entryCounts[name] = after - before
+			// Every page — clipped and not — still faults and round-trips.
+			for i := 0; i < 16; i++ {
+				addr := va + param.VAddr(i)*param.PageSize
+				if err := p.WriteBytes(addr, []byte{byte(i)}); err != nil {
+					t.Fatalf("page %d unusable after clip: %v", i, err)
+				}
+			}
+			buf := make([]byte, 1)
+			for i := 0; i < 16; i++ {
+				if err := p.ReadBytes(va+param.VAddr(i)*param.PageSize, buf); err != nil || buf[0] != byte(i) {
+					t.Fatalf("page %d lost after clip: %v %#x", i, err, buf[0])
+				}
+			}
+		})
+	}
+	if len(entryCounts) == 2 && entryCounts["bsdvm"] != entryCounts["uvm"] {
+		t.Errorf("entry splits diverged: bsdvm %d vs uvm %d", entryCounts["bsdvm"], entryCounts["uvm"])
+	}
+}
+
+// TestMprotectClipsToRange: an unaligned mprotect covers exactly the
+// pages its rounded range touches — the neighbouring pages keep their
+// protection — and both systems agree.
+func TestMprotectClipsToRange(t *testing.T) {
+	for name, boot := range boots() {
+		name, boot := name, boot
+		t.Run(name, func(t *testing.T) {
+			sys, _ := clipMachine(boot)
+			defer sys.Shutdown()
+			p, err := sys.NewProcess("p")
+			if err != nil {
+				t.Fatal(err)
+			}
+			va, err := p.Mmap(0, 8*param.PageSize, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 8; i++ {
+				if err := p.WriteBytes(va+param.VAddr(i)*param.PageSize, []byte{byte(i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Unaligned: covers pages 2..4 after rounding.
+			if err := p.Mprotect(va+2*param.PageSize+55, 2*param.PageSize+10, param.ProtRead); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 8; i++ {
+				err := p.WriteBytes(va+param.VAddr(i)*param.PageSize, []byte{0x80 + byte(i)})
+				wantDenied := i >= 2 && i <= 4
+				if wantDenied != (err != nil) {
+					t.Errorf("page %d: write err=%v, want denied=%v", i, err, wantDenied)
+				}
+			}
+		})
+	}
+}

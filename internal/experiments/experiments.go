@@ -95,6 +95,9 @@ func All(quick bool) []Runner {
 		{"reclaimbw", "ReclaimBW: pageout bandwidth, sync vs async vs parallel reclaim (beyond the paper)", func(w io.Writer) error {
 			return ReportReclaimBW(w, iters(quick, 1500, 6000))
 		}},
+		{"objwb", "ObjWB: object writeback (msync) bandwidth, sync vs async vs clustered (beyond the paper)", func(w io.Writer) error {
+			return ReportObjWB(w, iters(quick, 4, 16))
+		}},
 	}
 }
 

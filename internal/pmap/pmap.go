@@ -45,6 +45,7 @@ package pmap
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"uvm/internal/param"
@@ -125,23 +126,27 @@ type MMU struct {
 
 	// Cached counter cells: the fault path bumps these on every bucket
 	// acquisition, so the name lookup is paid once here.
-	ctrAcquires   sim.Counter
-	ctrContended  sim.Counter
-	ctrBatches    sim.Counter
-	ctrBatchPages sim.Counter
+	ctrAcquires     sim.Counter
+	ctrContended    sim.Counter
+	ctrBatches      sim.Counter
+	ctrBatchPages   sim.Counter
+	ctrRmBatches    sim.Counter
+	ctrRmBatchPages sim.Counter
 }
 
 // NewMMU creates the machine's MMU.
 func NewMMU(clock *sim.Clock, costs *sim.Costs, stats *sim.Stats) *MMU {
 	m := &MMU{
-		clock:         clock,
-		costs:         costs,
-		stats:         stats,
-		shards:        pvShards,
-		ctrAcquires:   stats.Counter(sim.CtrPVAcquires),
-		ctrContended:  stats.Counter(sim.CtrPVContended),
-		ctrBatches:    stats.Counter(sim.CtrPVBatches),
-		ctrBatchPages: stats.Counter(sim.CtrPVBatchPages),
+		clock:           clock,
+		costs:           costs,
+		stats:           stats,
+		shards:          pvShards,
+		ctrAcquires:     stats.Counter(sim.CtrPVAcquires),
+		ctrContended:    stats.Counter(sim.CtrPVContended),
+		ctrBatches:      stats.Counter(sim.CtrPVBatches),
+		ctrBatchPages:   stats.Counter(sim.CtrPVBatchPages),
+		ctrRmBatches:    stats.Counter(sim.CtrPVBatchRemoves),
+		ctrRmBatchPages: stats.Counter(sim.CtrPVBatchRemovePages),
 	}
 	for i := range m.buckets {
 		m.buckets[i].rev = make(map[*phys.Page][]pv)
@@ -344,6 +349,80 @@ func (p *Pmap) Remove(start, end param.VAddr) {
 	}
 }
 
+// RemoveBatch tears down every translation in [start, end) exactly as the
+// equivalent sequence of Remove calls would, but takes the pmap mutex
+// once and each affected pv bucket once for the whole window instead of
+// once per page — the teardown mirror of EnterBatch, used by UVM's
+// two-phase unmap and address-space exit. The per-translation PmapRemove
+// cost is charged as usual, so a batch costs the same simulated time as
+// the loop it replaces.
+func (p *Pmap) RemoveBatch(start, end param.VAddr) {
+	start = param.Trunc(start)
+
+	p.mu.Lock()
+	// Collect the mapped VAs of the window: for a window smaller than
+	// the page table, walk the VA range directly (already sorted); for
+	// a huge or whole-space window (RemoveAll), scan the table instead
+	// of stepping through an astronomically sparse range, and sort so
+	// the pv edits land in the same order the Remove loop produced.
+	var vas []param.VAddr
+	if span := uint64(end-start) >> param.PageShift; end > start && span < uint64(len(p.pt)) {
+		vas = make([]param.VAddr, 0, span)
+		for va := start; va < end; va += param.PageSize {
+			if _, ok := p.pt[va]; ok {
+				vas = append(vas, va)
+			}
+		}
+	} else {
+		vas = make([]param.VAddr, 0, len(p.pt))
+		for va := range p.pt {
+			if va >= start && va < end {
+				vas = append(vas, va)
+			}
+		}
+		sort.Slice(vas, func(i, j int) bool { return vas[i] < vas[j] })
+	}
+	if len(vas) == 0 {
+		p.mu.Unlock()
+		return
+	}
+
+	type pvOp struct {
+		pg *phys.Page
+		va param.VAddr
+	}
+	var ops [pvShards][]pvOp
+	for _, va := range vas {
+		pte := p.pt[va]
+		delete(p.pt, va)
+		p.ptRegionRefLocked(va, -1)
+		if pte.Wired {
+			p.wired--
+		}
+		i := p.mmu.bucketIndex(pte.Page)
+		ops[i] = append(ops[i], pvOp{pg: pte.Page, va: va})
+	}
+	// Ascending bucket order, one bucket held at a time, still under
+	// p.mu so the batch is atomic against Enter/PageProtect on this pmap
+	// (same discipline as EnterBatch).
+	for i := range ops {
+		if len(ops[i]) == 0 {
+			continue
+		}
+		b := &p.mmu.buckets[i]
+		p.mmu.lockBucket(b)
+		for _, op := range ops[i] {
+			b.removeLocked(op.pg, p, op.va)
+		}
+		b.mu.Unlock()
+	}
+	p.mu.Unlock()
+
+	p.mmu.clock.ChargeN(len(vas), p.mmu.costs.PmapRemove)
+	p.mmu.ctrRmBatches.Inc()
+	p.mmu.ctrRmBatchPages.Add(int64(len(vas)))
+}
+
 func (p *Pmap) removeOne(va param.VAddr) { p.removeIf(va, nil) }
 
 // removeIf tears down va's translation. With only non-nil the teardown
@@ -373,10 +452,11 @@ func (p *Pmap) removeIf(va param.VAddr, only *phys.Page) {
 
 // Protect narrows the hardware protection of every translation in
 // [start, end) to prot. With ProtNone the translations are removed
-// (matching pmap_protect semantics on the i386).
+// (matching pmap_protect semantics on the i386), batched — the pmap
+// mutex and each pv bucket taken once for the window.
 func (p *Pmap) Protect(start, end param.VAddr, prot param.Prot) {
 	if prot == param.ProtNone {
-		p.Remove(start, end)
+		p.RemoveBatch(start, end)
 		return
 	}
 	for va := param.Trunc(start); va < end; va += param.PageSize {
@@ -469,17 +549,11 @@ func (p *Pmap) ptRegionRefLocked(va param.VAddr, delta int) {
 	}
 }
 
-// RemoveAll tears down every translation (address-space teardown).
+// RemoveAll tears down every translation (address-space teardown). It is
+// a whole-space RemoveBatch: the pmap mutex and each affected pv bucket
+// are taken once for the entire space.
 func (p *Pmap) RemoveAll() {
-	p.mu.Lock()
-	vas := make([]param.VAddr, 0, len(p.pt))
-	for va := range p.pt {
-		vas = append(vas, va)
-	}
-	p.mu.Unlock()
-	for _, va := range vas {
-		p.removeOne(va)
-	}
+	p.RemoveBatch(0, ^param.VAddr(0))
 }
 
 // PageProtect narrows the protection of every mapping of pg, in every

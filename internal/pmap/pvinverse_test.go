@@ -1,7 +1,7 @@
 package pmap
 
 // The pv-inverse property difftest: after any interleaving of Enter,
-// EnterBatch, Remove, RemoveAll, ChangeWiring and PageProtect across
+// EnterBatch, Remove, RemoveBatch, RemoveAll, ChangeWiring and PageProtect across
 // several pmaps, the sharded reverse map and every pmap's page table
 // must be exact mutual inverses — every PTE has exactly one pv entry and
 // every pv entry points back at a live PTE for its page — and each
@@ -133,10 +133,14 @@ func (f *pvFuzzer) step() {
 				})
 			}
 			f.pm.EnterBatch(batch)
-		case 2: // range removal
+		case 2: // range removal, per-page or batched
 			start := f.rng.Intn(f.nva)
 			end := start + 1 + f.rng.Intn(6)
-			f.pm.Remove(f.va(start), f.va(end))
+			if f.rng.Intn(2) == 0 {
+				f.pm.Remove(f.va(start), f.va(end))
+			} else {
+				f.pm.RemoveBatch(f.va(start), f.va(end))
+			}
 		case 3: // page-level protect / teardown across all pmaps
 			pg := f.pages[f.rng.Intn(len(f.pages))]
 			switch f.rng.Intn(3) {

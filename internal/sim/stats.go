@@ -148,6 +148,7 @@ const (
 	CtrDiskSeeks       = "disk.seeks"
 	CtrDiskPagesRead   = "disk.pages.read"
 	CtrDiskPagesWrite  = "disk.pages.written"
+	CtrDiskDeferredNs  = "disk.deferred_ns" // device-busy time of deferred (overlapped) I/O
 	CtrSwapSlotsLive   = "swap.slots.live"
 	CtrSwapIOs         = "swap.ios"
 
@@ -183,4 +184,22 @@ const (
 	CtrPVContended  = "pmap.pv.contended"    // acquisitions that found the bucket held
 	CtrPVBatches    = "pmap.pv.batch.enters" // Pmap.EnterBatch calls
 	CtrPVBatchPages = "pmap.pv.batch.pages"  // translations entered via EnterBatch
+
+	// Batched pmap teardown counters (Pmap.RemoveBatch, used by UVM's
+	// two-phase unmap and address-space exit).
+	CtrPVBatchRemoves     = "pmap.pv.batch.removes"     // Pmap.RemoveBatch calls
+	CtrPVBatchRemovePages = "pmap.pv.batch.removepages" // translations removed via RemoveBatch
+
+	// Object writeback pipeline counters (internal/uvm/objwb.go): msync,
+	// aobj and vnode-recycle flushes pushed through the asynchronous
+	// clustered write engine.
+	CtrObjWbClusters = "uvm.objwb.clusters" // writeback cluster I/Os submitted
+	CtrObjWbPages    = "uvm.objwb.pages"    // pages pushed through the pipeline
+	CtrObjWbErrors   = "uvm.objwb.errors"   // writeback I/Os that failed
+	CtrObjWbWaits    = "uvm.objwb.waits"    // paths that slept on a busy object page
+
+	// Clustered aobj pagein counters (internal/uvm/pagein.go): aobj
+	// faults that dragged slot-adjacent neighbour pages in with one I/O.
+	CtrAobjPageinClusters  = "uvm.aobj.pagein.clusters"  // clustered aobj pagein I/Os
+	CtrAobjPageinClustered = "uvm.aobj.pagein.clustered" // extra aobj pages per cluster ride
 )

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"uvm/internal/disk"
 	"uvm/internal/sim"
 )
 
@@ -15,20 +16,15 @@ import (
 // cluster with WriteClusterAsync and keeps scanning; the completion
 // callback releases the cluster's pages.
 //
-// The model is deliberately simple. Each device admits at most its
-// window's worth of writes at once — a submitter that finds the window
-// full blocks until a completion opens a slot, which is the natural
-// backpressure that keeps a fast scanner from burying a slow disk. Writes
-// to one device are serialised by a per-device I/O mutex (one head), but
-// their data transfer is performed off the submitter's goroutine and
-// charged as deferred I/O, so the submitter's simulated clock never pays
-// for an overlapped write. Completions for different clusters may run
-// concurrently and in any order; each callback runs exactly once, off the
-// submitter's goroutine.
+// The window/backpressure machinery itself lives in disk.AsyncWriter —
+// the generalised engine shared with the vfs writeback path — and each
+// swap device owns one writer. This file keeps the swap-wide
+// bookkeeping: the configured window, the aggregate in-flight count that
+// DrainAsync waits on, and the swap.aio.* stats.
 
 // DefaultAIOWindow is the per-device in-flight cluster-write window used
 // when SetAIOWindow was never called (or asked for 0).
-const DefaultAIOWindow = 4
+const DefaultAIOWindow = disk.DefaultAIOWindow
 
 // aio is the Swap-wide async-write bookkeeping: the configured window and
 // the in-flight count Drain waits on.
@@ -65,15 +61,15 @@ func (s *Swap) AIOInFlight() int {
 	return s.aio.inFlight
 }
 
-// ensureAIOSem returns d's window semaphore, creating it with the current
+// ensureWriter returns d's async writer, creating it with the current
 // window on first use.
-func (s *Swap) ensureAIOSem(d *device) chan struct{} {
+func (s *Swap) ensureWriter(d *device) *disk.AsyncWriter {
 	s.aio.mu.Lock()
 	defer s.aio.mu.Unlock()
-	if d.aioSem == nil {
-		d.aioSem = make(chan struct{}, s.aio.window)
+	if d.writer == nil {
+		d.writer = disk.NewAsyncWriter(d.dev, s.aio.window)
 	}
-	return d.aioSem
+	return d.writer
 }
 
 // WriteClusterAsync submits a contiguous cluster write and returns as
@@ -88,9 +84,11 @@ func (s *Swap) WriteClusterAsync(start int64, bufs [][]byte, done func(error)) e
 	if start-d.base+int64(len(bufs)) > d.size {
 		return fmt.Errorf("swap: cluster at %d spans devices", start)
 	}
-	sem := s.ensureAIOSem(d)
-	sem <- struct{}{} // claim a window slot; blocks while the window is full
+	w := s.ensureWriter(d)
 
+	// The swap-wide in-flight count rises at submission (before the
+	// window gate, so DrainAsync started concurrently cannot miss us) and
+	// falls after done returns.
 	s.aio.mu.Lock()
 	s.aio.inFlight++
 	inFlight := s.aio.inFlight
@@ -99,11 +97,7 @@ func (s *Swap) WriteClusterAsync(start int64, bufs [][]byte, done func(error)) e
 	s.stats.Add(sim.CtrSwapAIOPages, int64(len(bufs)))
 	s.stats.Max(sim.CtrSwapAIOInFlightMax, int64(inFlight))
 
-	go func() {
-		d.aioIO.Lock() // one head per device: overlapped writes still queue at the disk
-		err := d.dev.WritePagesDeferred(start-d.base, bufs)
-		d.aioIO.Unlock()
-		<-sem
+	w.Submit(start-d.base, bufs, func(err error) {
 		done(err)
 		s.aio.mu.Lock()
 		s.aio.inFlight--
@@ -111,7 +105,7 @@ func (s *Swap) WriteClusterAsync(start int64, bufs [][]byte, done func(error)) e
 			s.aio.cond.Broadcast()
 		}
 		s.aio.mu.Unlock()
-	}()
+	})
 	return nil
 }
 

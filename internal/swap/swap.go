@@ -143,10 +143,9 @@ type device struct {
 	shardSize int64         // size of every shard but the last
 	cursor    atomic.Uint64 // round-robin start shard for allocations
 
-	// Asynchronous write state (see aio.go): the window semaphore bounds
-	// in-flight cluster writes to this device; aioIO serialises the head.
-	aioIO  sync.Mutex
-	aioSem chan struct{}
+	// writer is the device's bounded-window asynchronous write engine
+	// (see aio.go), created lazily with the Swap-wide configured window.
+	writer *disk.AsyncWriter
 }
 
 // shardCount picks the number of shards for a device of the given size:

@@ -194,7 +194,24 @@ func (s *System) faultResolve(p *Process, e *entry, va param.VAddr, write bool) 
 			}
 			o.mu.Lock()
 			pg, ok := o.pages[idx]
-			if !ok {
+			// A busy page belongs to a writeback flush: its contents are
+			// on the wire, so nothing may be mapped (a read fault would
+			// map it with the entry's full protection, letting stores
+			// sneak past the write-protect the flush installed) until the
+			// completion clears Busy and wakes us. The lock is dropped
+			// during the wait, so re-look the page up each time. The
+			// check re-runs after a pager get too: get drops o.mu around
+			// its allocation, and its raced path can hand back a page a
+			// concurrent flush claimed in that window.
+			for {
+				if ok && pg.Busy.Load() {
+					s.waitObjPageIdle(o, pg)
+					pg, ok = o.pages[idx]
+					continue
+				}
+				if ok {
+					break
+				}
 				var err error
 				pg, err = o.ops.get(o, idx) // pager allocates (§6)
 				if err != nil {
@@ -204,6 +221,7 @@ func (s *System) faultResolve(p *Process, e *entry, va param.VAddr, write bool) 
 					}
 					return nil, 0, nil, err
 				}
+				ok = true
 			}
 			if write && e.cow {
 				// Promote the object page into a fresh anon: the object page

@@ -372,7 +372,9 @@ func (m *vmMap) unmapPhase1(start, end param.VAddr) []*entry {
 	removed := m.entriesIn(start, end)
 	for _, e := range removed {
 		m.unlink(e)
-		m.pmap.Remove(e.start, e.end)
+		// Batched teardown: the pmap mutex and each pv bucket are taken
+		// once per entry's window instead of once per page.
+		m.pmap.RemoveBatch(e.start, e.end)
 	}
 	return removed
 }

@@ -123,19 +123,40 @@ func (s *System) objUnref(o *uobject) {
 	}
 }
 
-// vnodeRecycled is the OnRecycle hook: free the object's pages and forget
-// it; the vnode is going away. The vnode layer invokes the hook without
-// holding the filesystem lock.
+// vnodeRecycled is the OnRecycle hook: write the modified pages back,
+// free the object's pages and forget it; the vnode is going away. The
+// vnode layer invokes the hook without holding the filesystem lock, so
+// it is free to sleep on writeback I/O. With cfg.AsyncWriteback the
+// dirty pages leave as contiguous clusters through the bounded in-flight
+// window and the hook waits for the completions before freeing frames;
+// otherwise each page is queued through the buffer cache in ascending
+// index order (deterministic — the sweep order decides the head's path).
 func (s *System) vnodeRecycled(o *uobject) {
 	o.mu.Lock()
-	defer o.mu.Unlock()
-	for idx, pg := range o.pages {
-		if pg.Dirty.Load() {
-			_ = o.vnode.WritePageAsync(idx, pg.Data)
-			pg.Dirty.Store(false)
+	if s.cfg.AsyncWriteback {
+		if items := s.collectDirtyLocked(o, 0, maxPageIdx, true); len(items) > 0 {
+			batch := newWbBatch()
+			s.submitWbLocked(o, items, batch)
+			o.mu.Unlock()
+			batch.wait() // a failed write loses the page with its vnode, as before
+			o.mu.Lock()
 		}
-		s.freeObjectPage(o, idx, pg)
+	} else {
+		for _, idx := range sortedPageIdxs(o, 0, maxPageIdx) {
+			pg := o.pages[idx]
+			if pg.Dirty.Load() {
+				_ = o.vnode.WritePageAsync(idx, pg.Data)
+				pg.Dirty.Store(false)
+			}
+		}
 	}
+	// A frame still riding a detach-time flush belongs to the I/O: wait
+	// it out before freeing.
+	s.waitObjIdleLocked(o)
+	for _, idx := range sortedPageIdxs(o, 0, maxPageIdx) {
+		s.freeObjectPage(o, idx, o.pages[idx])
+	}
+	o.mu.Unlock()
 	s.mach.Stats.Inc("uvm.uobj.vnode.recycled")
 }
 
@@ -218,7 +239,21 @@ func (vp *vnodePager) detach(o *uobject) {
 	// (asynchronously — the pages also stay resident). The pages stay
 	// with the vnode; the vnode cache decides their fate. (The VM's
 	// vnode reference is dropped by objUnref, outside the object lock.)
-	for idx, pg := range o.pages {
+	//
+	// With cfg.AsyncWriteback this is a fire-and-forget flush through
+	// the clustered engine: nobody waits on the batch; the completions
+	// clear dirty/busy, and recycle/Shutdown drain any stragglers. Pages
+	// already claimed by another flush are skipped, not waited for —
+	// detach is called with o.mu held and must not sleep.
+	s := vp.sys
+	if s.cfg.AsyncWriteback {
+		if items := s.collectDirtyLocked(o, 0, maxPageIdx, false); len(items) > 0 {
+			s.submitWbLocked(o, items, nil)
+		}
+		return
+	}
+	for _, idx := range sortedPageIdxs(o, 0, maxPageIdx) {
+		pg := o.pages[idx]
 		if pg.Dirty.Load() {
 			_ = o.vnode.WritePageAsync(idx, pg.Data)
 			pg.Dirty.Store(false)
@@ -258,31 +293,53 @@ func (ap *aobjPager) get(o *uobject, idx int) (*phys.Page, error) {
 	// state observed above may be stale: a concurrent pageout can have
 	// reassigned (or even created) the slot, and msync/teardown paths
 	// can have freed it — the free-during-pagein race. Re-read it under
-	// the re-acquired lock before deciding where the data comes from;
-	// from here to the ReadSlot the lock is held continuously.
-	slot, ok := o.aobjSlots[idx]
-	if !ok {
-		// No backing copy (first touch), or it vanished while the lock
-		// was down: zero-fill. Anonymous content exists only in RAM, so
-		// the page is born dirty.
-		if hadSlot {
-			ap.sys.mach.Mem.Zero(pg) // allocated un-zeroed for a read that is off
+	// the re-acquired lock before deciding where the data comes from.
+	// Clustered pagein re-opens the window (neighbour frame allocations
+	// drop o.mu too), so the loop re-reads until the slot state holds
+	// still; from the final re-read to the ReadSlot/ReadCluster the lock
+	// is held continuously.
+	for tries := 0; ; tries++ {
+		slot, ok := o.aobjSlots[idx]
+		if !ok {
+			// No backing copy (first touch), or it vanished while the lock
+			// was down: zero-fill. Anonymous content exists only in RAM, so
+			// the page is born dirty.
+			if hadSlot {
+				ap.sys.mach.Mem.Zero(pg) // allocated un-zeroed for a read that is off
+			}
+			o.pages[idx] = pg
+			pg.Dirty.Store(true)
+			return pg, nil
+		}
+		if ap.sys.cfg.PageinCluster > 1 && tries < 3 {
+			// Try to drag slot-adjacent neighbour pages in with the same
+			// I/O (the aobj mirror of anon clustered pagein; see
+			// pagein.go). retry means the slot state shifted while the
+			// neighbour frames were being allocated: re-read and redo.
+			got, retry, err := ap.sys.aobjPageinCluster(o, idx, slot, pg)
+			if err != nil {
+				return nil, err
+			}
+			if retry {
+				continue
+			}
+			if got != nil {
+				return got, nil
+			}
+			// No willing neighbour: fall through to the single-slot read.
+		}
+		pg.Busy.Store(true)
+		err = ap.sys.mach.Swap.ReadSlot(slot, pg.Data)
+		pg.Busy.Store(false)
+		if err != nil {
+			ap.sys.mach.Mem.Free(pg)
+			return nil, err
 		}
 		o.pages[idx] = pg
-		pg.Dirty.Store(true)
+		pg.Dirty.Store(false)
+		ap.sys.mach.Stats.Inc(sim.CtrPageIns)
 		return pg, nil
 	}
-	pg.Busy.Store(true)
-	err = ap.sys.mach.Swap.ReadSlot(slot, pg.Data)
-	pg.Busy.Store(false)
-	if err != nil {
-		ap.sys.mach.Mem.Free(pg)
-		return nil, err
-	}
-	o.pages[idx] = pg
-	pg.Dirty.Store(false)
-	ap.sys.mach.Stats.Inc(sim.CtrPageIns)
-	return pg, nil
 }
 
 func (ap *aobjPager) put(o *uobject, pg *phys.Page) error {

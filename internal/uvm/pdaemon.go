@@ -2,6 +2,7 @@ package uvm
 
 import (
 	"errors"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -424,9 +425,15 @@ func (s *System) reclaimRange(loShard, hiShard, target int, async bool) (freed, 
 			s.mach.Mem.RefillInactive(target * 2)
 		}
 		var cluster []*phys.Page
+		// vnWb collects dirty vnode pages for the object writeback
+		// pipeline (async rounds only): per-object, submitted as
+		// contiguous-index cluster writes after the scan.
+		var vnWb map[*uobject][]*phys.Page
+		vnAsync := async && s.pd != nil && !s.cfg.DisableClustering
+		vnPages := 0
 		held := make(ownerSet)
 		s.mach.Mem.ScanInactiveRange(loShard, hiShard, target*4, func(pg *phys.Page) bool {
-			if freed+submitted+len(cluster) >= target {
+			if freed+submitted+len(cluster)+vnPages >= target {
 				return false
 			}
 			if pg.Referenced.Load() {
@@ -504,8 +511,24 @@ func (s *System) reclaimRange(loShard, hiShard, target int, async bool) (freed, 
 					return true
 				}
 				// Vnode page: clean pages are free to drop; dirty ones are
-				// written back through the pager.
+				// written back through the pager — asynchronously, batched
+				// per object, when the round runs the writeback pipeline.
+				// Dirty pages past EOF (zero-filled mappings beyond the
+				// file) have nowhere to go and would poison their run, so
+				// they stay on the synchronous path, which fails and
+				// reactivates just that page.
 				if pg.Dirty.Load() {
+					if vnAsync && idx < o.vnode.NumPages() {
+						pg.Busy.Store(true)
+						s.mach.Mem.Dequeue(pg)
+						if vnWb == nil {
+							vnWb = make(map[*uobject][]*phys.Page)
+						}
+						vnWb[o] = append(vnWb[o], pg)
+						vnPages++
+						held.keep(owner)
+						return true
+					}
 					if err := o.ops.put(o, pg); err != nil {
 						s.mach.Mem.Activate(pg)
 						release()
@@ -523,6 +546,15 @@ func (s *System) reclaimRange(loShard, hiShard, target int, async bool) (freed, 
 			}
 			return true
 		})
+
+		// Vnode writeback flights leave first: each object's lock — and
+		// the duty to detach and free its pages — is handed to its
+		// flight's last completion, so the object is removed from `held`
+		// here (the anon cluster below hands over whatever remains).
+		for o, pages := range vnWb {
+			delete(held, o)
+			submitted += s.submitVnodeFlight(o, pages)
+		}
 
 		if len(cluster) > 0 {
 			asyncN := 0
@@ -712,6 +744,89 @@ func (s *System) reassignSlot(pg *phys.Page, slot int64) {
 		s.mach.Stats.Inc(sim.CtrPdReassigned)
 	}
 	s.setSlot(pg, slot)
+}
+
+// vnFlight is one object's in-flight reclaim writeback: its dirty vnode
+// pages, split into contiguous-index runs each submitted as one
+// asynchronous cluster write. The flight owns the object's mutex (handed
+// over by the scan, exactly like anon cluster pageout owners) until its
+// LAST run completes: that completion detaches and frees the pages of
+// every successful run, re-activates the pages of failed runs (still
+// dirty), releases the object, and reports to the daemon.
+type vnFlight struct {
+	s *System
+	o *uobject
+
+	mu      sync.Mutex
+	pending int
+	freed   []*phys.Page // pages of completed, successful runs
+	failed  []*phys.Page // pages of failed runs
+}
+
+// submitVnodeFlight submits the reclaim writeback of o's collected dirty
+// pages and returns how many pages are now in flight. Caller has handed
+// o's lock to the flight; every page is Busy and dequeued.
+func (s *System) submitVnodeFlight(o *uobject, pages []*phys.Page) int {
+	sort.Slice(pages, func(i, j int) bool { return pages[i].Off() < pages[j].Off() })
+	items := make([]wbItem, len(pages))
+	for i, pg := range pages {
+		items[i] = wbItem{idx: param.OffToPage(pg.Off()), pg: pg}
+	}
+	runs := wbClusters(items, s.wbClusterMax())
+	fl := &vnFlight{s: s, o: o, pending: len(runs)}
+	s.pd.addInFlight()
+	for _, run := range runs {
+		runPages := make([]*phys.Page, len(run))
+		bufs := make([][]byte, len(run))
+		for i, it := range run {
+			runPages[i] = it.pg
+			bufs[i] = it.pg.Data
+		}
+		s.mach.Stats.Inc(sim.CtrObjWbClusters)
+		s.mach.Stats.Add(sim.CtrObjWbPages, int64(len(run)))
+		if err := o.vnode.WriteClusterAsync(run[0].idx, bufs,
+			func(err error) { fl.runDone(runPages, err) }); err != nil {
+			// Unreachable for in-range pages, but keep the bookkeeping
+			// honest: treat it as a failed write.
+			fl.runDone(runPages, err)
+		}
+	}
+	return len(pages)
+}
+
+// runDone is the completion of one flight run; the last one finishes the
+// whole flight. It runs on a vfs I/O goroutine holding the flight's
+// object lock (handed over at submission) — which is what makes the
+// o.pages mutation in finishPageout safe — plus the flight's own mutex
+// to serialise sibling runs' completions.
+func (fl *vnFlight) runDone(pages []*phys.Page, err error) {
+	s := fl.s
+	fl.mu.Lock()
+	if err != nil {
+		s.mach.Stats.Inc(sim.CtrObjWbErrors)
+		fl.failed = append(fl.failed, pages...)
+	} else {
+		fl.freed = append(fl.freed, pages...)
+	}
+	fl.pending--
+	last := fl.pending == 0
+	if !last {
+		fl.mu.Unlock()
+		return
+	}
+	for _, pg := range fl.freed {
+		s.finishPageout(pg)
+	}
+	for _, pg := range fl.failed {
+		pg.Busy.Store(false)
+		s.mach.Mem.Activate(pg) // still dirty: a later round retries
+	}
+	freed := len(fl.freed)
+	fl.mu.Unlock()
+	s.mach.Stats.Add(sim.CtrPageOuts, int64(freed))
+	s.mach.Stats.Add(sim.CtrPdFreed, int64(freed))
+	releaseOwner(fl.o)
+	s.pd.asyncDone(freed)
 }
 
 // finishPageout detaches the now-clean page from its owner and frees it.

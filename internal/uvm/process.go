@@ -225,80 +225,118 @@ func (p *Process) Munmap(addr param.VAddr, length param.VSize) error {
 	return nil
 }
 
-// Mprotect implements vmapi.Process.
+// Mprotect implements vmapi.Process. The range is clipped to page
+// boundaries before entries are split (an entry clipped at a raw,
+// unaligned address would corrupt its amap/object geometry).
 func (p *Process) Mprotect(addr param.VAddr, length param.VSize, prot param.Prot) error {
 	if p.exited.Load() {
 		return vmapi.ErrExited
 	}
-	return p.m.protect(addr, addr+param.VAddr(param.RoundSize(length)), prot)
+	start, end := param.Trunc(addr), param.Round(addr+param.VAddr(length))
+	if length == 0 {
+		end = start
+	}
+	return p.m.protect(start, end, prot)
 }
 
 // Minherit implements vmapi.Process (§5.4: BSD's minherit is one of the
-// mechanisms UVM's amap design had to support beyond SunOS).
+// mechanisms UVM's amap design had to support beyond SunOS). The range
+// is clipped to page boundaries before the entries are split, so the
+// inheritance applies to exactly the pages the range touches and never
+// bleeds onto the rest of a large entry (clipping an entry at a raw,
+// unaligned address would corrupt its amap/object geometry).
 func (p *Process) Minherit(addr param.VAddr, length param.VSize, inh param.Inherit) error {
 	if p.exited.Load() {
 		return vmapi.ErrExited
 	}
+	if length == 0 {
+		return nil
+	}
+	start, end := param.Trunc(addr), param.Round(addr+param.VAddr(length))
 	m := p.m
 	m.lock()
 	defer m.unlock()
-	for _, e := range m.entriesIn(addr, addr+param.VAddr(param.RoundSize(length))) {
+	for _, e := range m.entriesIn(start, end) {
 		e.inherit = inh
 	}
 	return nil
 }
 
 // Madvise implements vmapi.Process; UVM's fault handler uses the advice to
-// size its lookahead window (§5.4).
+// size its lookahead window (§5.4). Like Minherit, the range is clipped
+// to page boundaries so the advice covers exactly the pages it names.
 func (p *Process) Madvise(addr param.VAddr, length param.VSize, adv param.Advice) error {
 	if p.exited.Load() {
 		return vmapi.ErrExited
 	}
+	if length == 0 {
+		return nil
+	}
+	start, end := param.Trunc(addr), param.Round(addr+param.VAddr(length))
 	m := p.m
 	m.lock()
 	defer m.unlock()
-	for _, e := range m.entriesIn(addr, addr+param.VAddr(param.RoundSize(length))) {
+	for _, e := range m.entriesIn(start, end) {
 		e.advice = adv
 	}
 	return nil
 }
 
-// Msync implements vmapi.Process.
+// Msync implements vmapi.Process: dirty object pages of the range — file
+// pages and shared-anonymous (aobj) pages alike — are written to backing
+// store before it returns. The map lock is held only while the
+// overlapping (object, index-range) spans are collected (each object
+// referenced so it cannot die mid-flush); the flushes themselves run
+// with the map unlocked, through the object writeback pipeline — with
+// cfg.AsyncWriteback as contiguous-offset clusters overlapped in the
+// per-backend in-flight window, otherwise one synchronous put per page
+// in deterministic ascending-index order (see objwb.go for both).
 func (p *Process) Msync(addr param.VAddr, length param.VSize) error {
 	if p.exited.Load() {
 		return vmapi.ErrExited
 	}
+	if length == 0 {
+		return nil
+	}
+	s := p.sys
 	m := p.m
+	start, end := param.Trunc(addr), param.Round(addr+param.VAddr(length))
+
+	type span struct {
+		o            *uobject
+		loIdx, hiIdx int
+	}
+	var spans []span
 	m.lock()
-	defer m.unlock()
-	end := addr + param.VAddr(param.RoundSize(length))
 	for cur := m.head; cur != nil; cur = cur.next {
-		if cur.end <= addr || cur.start >= end || cur.obj == nil || cur.obj.vnode == nil {
+		if cur.end <= start || cur.start >= end || cur.obj == nil {
 			continue
+		}
+		o := cur.obj
+		if o.vnode == nil && o.aobjSlots == nil {
+			continue // no backing store to sync (device pager)
 		}
 		// Flush only the object pages the requested range maps.
 		lo, hi := cur.start, cur.end
-		if addr > lo {
-			lo = addr
+		if start > lo {
+			lo = start
 		}
 		if end < hi {
 			hi = end
 		}
-		loIdx, hiIdx := cur.objIndex(lo), cur.objIndex(hi-1)
-		o := cur.obj
-		o.mu.Lock()
-		for idx, pg := range o.pages {
-			if idx < loIdx || idx > hiIdx || !pg.Dirty.Load() {
-				continue
-			}
-			if err := o.ops.put(o, pg); err != nil {
-				o.mu.Unlock()
-				return err
-			}
-		}
-		o.mu.Unlock()
+		s.objRef(o)
+		spans = append(spans, span{o: o, loIdx: cur.objIndex(lo), hiIdx: cur.objIndex(hi - 1)})
 	}
-	return nil
+	m.unlock()
+
+	var firstErr error
+	for _, sp := range spans {
+		if _, err := s.flushObjectRange(sp.o, sp.loIdx, sp.hiIdx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		s.objUnref(sp.o)
+	}
+	return firstErr
 }
 
 // Fork implements vmapi.Process per each entry's inheritance (§5.2,

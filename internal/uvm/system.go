@@ -87,6 +87,25 @@
 // > 1 the daemon dispatches that many workers per round over disjoint
 // page-queue shard ranges; the daemon itself remains the only
 // watermark/round coordinator.
+//
+// # Object writeback
+//
+// The object writeback pipeline (objwb.go, cfg.AsyncWriteback) extends
+// the same completion discipline to the paths that clean object pages
+// without evicting them — Msync, vnode recycling, last-unmap flushes —
+// and to the pagedaemon's vnode put path. Dirty pages are collected and
+// marked Busy under the object lock, their writable mappings narrowed,
+// and the lock released; the pages then leave as contiguous-offset
+// clusters through a per-backend bounded in-flight window (vnode pages
+// via the vfs async writer, aobj pages via swap.WriteClusterAsync). A
+// fault or file write that hits a busy page sleeps on the system
+// writeback condvar; the cluster's completion clears Dirty/Busy, wakes
+// those waiters, and signals the submitter's batch. Writeback
+// completions run on I/O goroutines holding no VM locks and may only
+// touch page state, the stats and that condvar — never a map, object or
+// amap lock — so they cannot deadlock against faults or reclaim. The
+// reclaim flavour (vnodePageoutAsync) instead inherits its object lock
+// from the scan, exactly like swap pageout completions.
 package uvm
 
 import (
@@ -148,8 +167,27 @@ type Config struct {
 	// PageinCluster is the largest clustered-pagein window, in pages: on
 	// a swap-backed anon fault, up to this many adjacent allocated slots
 	// are read with one I/O (the read-side mirror of clustered pageout).
-	// 0 or 1 disables clustering and pages in one slot at a time.
+	// It also sizes the aobj clustered-pagein window: an aobj fault drags
+	// in neighbour pages whose swap slots adjoin the faulting one. 0 or 1
+	// disables clustering and pages in one slot at a time.
 	PageinCluster int
+	// AsyncWriteback routes the object writeback paths — Msync, vnode
+	// recycling, last-unmap write-back — through the asynchronous
+	// clustered engine (objwb.go): dirty pages are collected under the
+	// object lock, marked busy, and flushed as contiguous-offset clusters
+	// through a per-backend bounded in-flight window (vnode pages to the
+	// file, aobj pages to swap) while the submitter merely waits on the
+	// completions. Off, those paths put one page per I/O, synchronously,
+	// which keeps single-threaded runs byte-deterministic.
+	AsyncWriteback bool
+	// WritebackWindow bounds in-flight asynchronous object writeback
+	// clusters on the filesystem disk (the vnode backend's window; the
+	// aobj backend shares the swap device window, see PageoutWindow).
+	// 0 means disk.DefaultAIOWindow. Only meaningful with AsyncWriteback.
+	WritebackWindow int
+	// WritebackCluster caps pages per object writeback I/O. 0 means
+	// MaxCluster.
+	WritebackCluster int
 }
 
 // DefaultConfig returns UVM's standard tuning.
@@ -185,6 +223,24 @@ type System struct {
 	// locks held. Test hook: the lookahead-vs-reclaim race test uses it
 	// to run a reclaim pass inside the batching window.
 	lookaheadGate func()
+
+	// msyncGate, when non-nil, runs after an asynchronous flush has
+	// submitted its clusters (object lock released, pages busy, I/O in
+	// flight) and before the submitter waits on the batch. Test hook for
+	// the msync race tests. Must be set before the flush starts.
+	msyncGate func()
+	// wbGate, when non-nil, runs at the start of every object writeback
+	// completion, on the I/O goroutine. Test hook: the msync race tests
+	// use it to hold completions while concurrent faults and reclaim
+	// passes probe the busy pages.
+	wbGate func()
+
+	// Writeback waiter state: paths that find an object page busy (a
+	// flush owns its contents) sleep here; wbGen is bumped and the
+	// condvar broadcast by every flush completion (see objwb.go).
+	wbMu   sync.Mutex
+	wbCond *sync.Cond
+	wbGen  uint64
 }
 
 // Boot boots UVM on machine m with default configuration.
@@ -196,6 +252,10 @@ func BootConfig(m *vmapi.Machine, cfg Config) *System {
 		mach:  m,
 		cfg:   cfg,
 		procs: make(map[*Process]struct{}),
+	}
+	s.wbCond = sync.NewCond(&s.wbMu)
+	if cfg.AsyncWriteback && cfg.WritebackWindow > 0 {
+		m.FS.SetWriteWindow(cfg.WritebackWindow)
 	}
 	s.kmap = s.newMap("kernel", param.KernelBase, param.KernelMax, true)
 
@@ -252,6 +312,12 @@ func (s *System) Shutdown() {
 		s.pd.stop()
 		s.mach.Swap.DrainAsync()
 	}
+	// Fire-and-forget object writebacks (last-unmap flushes) may still be
+	// on the wire; drain both backends so no completion callback touches
+	// VM structures after Shutdown returns. (Msync and recycle wait for
+	// their own batches, so only unwaited submissions are left here.)
+	s.mach.FS.DrainWrites()
+	s.mach.Swap.DrainAsync()
 }
 
 // Name implements vmapi.System.

@@ -61,12 +61,26 @@ func (s *System) fileIO(vn *vfs.Vnode, off int, buf []byte, write bool) (int, er
 		}
 
 		pg, ok := o.pages[idx]
-		if !ok {
+		// A busy page is mid-writeback-flush: a write must not scribble
+		// on the frame while the I/O owns its contents. Reads are safe —
+		// the data is stable until the flush completes. Re-checked after
+		// a pager get, whose raced path (get drops o.mu around its
+		// allocation) can return a page a concurrent flush claimed.
+		for {
+			if ok && write && pg.Busy.Load() {
+				s.waitObjPageIdle(o, pg)
+				pg, ok = o.pages[idx]
+				continue
+			}
+			if ok {
+				break
+			}
 			var err error
 			pg, err = o.ops.get(o, idx)
 			if err != nil {
 				return done, err
 			}
+			ok = true
 		}
 		pg.Referenced.Store(true)
 		// The user/kernel copy of this chunk.

@@ -145,6 +145,25 @@ func (v *Vnode) WritePageAsync(idx int, buf []byte) error {
 	return v.fs.dev.WritePagesDeferred(v.f.start+int64(idx), [][]byte{buf})
 }
 
+// WriteClusterAsync queues len(bufs) consecutive pages starting at idx
+// for asynchronous write-back through the filesystem's bounded in-flight
+// write window (the same disk.AsyncWriter engine that backs swap's async
+// cluster pageout). The submitter pays only the in-memory copies and
+// blocks only while the window is full; done is invoked exactly once,
+// from another goroutine, with the write's result, and the caller must
+// treat the buffers as owned by the I/O until then. This is the vnode
+// backend of UVM's object writeback pipeline (msync, vnode recycling).
+func (v *Vnode) WriteClusterAsync(idx int, bufs [][]byte, done func(error)) error {
+	if idx < 0 || idx+len(bufs) > v.f.npages {
+		return ErrBadOffset
+	}
+	v.fs.clock.ChargeN(len(bufs), v.fs.costs.PageCopy)
+	v.fs.stats.Inc("vfs.aio.writes")
+	v.fs.stats.Add("vfs.aio.pages", int64(len(bufs)))
+	v.fs.writer().Submit(v.f.start+int64(idx), bufs, done)
+	return nil
+}
+
 // Ref takes an additional use reference (vref).
 func (v *Vnode) Ref() {
 	v.fs.mu.Lock()
@@ -183,6 +202,56 @@ type FS struct {
 	vnodes    map[string]*Vnode // in-core vnodes, active or free
 	maxVnodes int
 	lruSeq    int64
+
+	// Asynchronous write-back state: one bounded-window writer for the
+	// filesystem disk (created lazily with awWindow), shared by every
+	// vnode's WriteClusterAsync.
+	awMu     sync.Mutex
+	aw       *disk.AsyncWriter
+	awWindow int
+}
+
+// writer returns the filesystem's async writer, creating it with the
+// configured window on first use.
+func (fs *FS) writer() *disk.AsyncWriter {
+	fs.awMu.Lock()
+	defer fs.awMu.Unlock()
+	if fs.aw == nil {
+		fs.aw = disk.NewAsyncWriter(fs.dev, fs.awWindow)
+	}
+	return fs.aw
+}
+
+// SetWriteWindow sets the in-flight window for asynchronous vnode write
+// clusters. It must be called before the first WriteClusterAsync; n <= 0
+// keeps disk.DefaultAIOWindow.
+func (fs *FS) SetWriteWindow(n int) {
+	fs.awMu.Lock()
+	fs.awWindow = n
+	fs.awMu.Unlock()
+}
+
+// DrainWrites blocks until every asynchronous vnode cluster write
+// submitted so far has completed (its done callback has returned).
+func (fs *FS) DrainWrites() {
+	fs.awMu.Lock()
+	aw := fs.aw
+	fs.awMu.Unlock()
+	if aw != nil {
+		aw.Drain()
+	}
+}
+
+// WritesInFlight returns the number of asynchronous vnode cluster writes
+// submitted but not yet completed (test/debug helper).
+func (fs *FS) WritesInFlight() int {
+	fs.awMu.Lock()
+	aw := fs.aw
+	fs.awMu.Unlock()
+	if aw == nil {
+		return 0
+	}
+	return aw.InFlight()
 }
 
 // NewFS creates a filesystem on dev with an in-core table of maxVnodes
