@@ -6,8 +6,11 @@
 //
 //	vmstat -sys uvm -scenario multiuser
 //	vmstat -sys bsdvm -scenario x11
+//	vmstat -sys uvm -scenario filesweep -profile nvme
 //
-// Scenarios: single, multiuser, x11, forkstorm, filesweep.
+// Scenarios: single, multiuser, x11, forkstorm, filesweep. Machine
+// profiles: hdd97 (default, the paper's testbed), nvme, ramdisk — each
+// with its own cost table and machine-size preset.
 package main
 
 import (
@@ -26,10 +29,20 @@ func main() {
 	var (
 		sysName  = flag.String("sys", "uvm", "vm system: uvm or bsdvm")
 		scenario = flag.String("scenario", "multiuser", "single | multiuser | x11 | forkstorm | filesweep")
+		profile  = flag.String("profile", "", "machine profile: hdd97 | nvme | ramdisk (default hdd97)")
 	)
 	flag.Parse()
 
-	mach := vmapi.NewMachine(vmapi.DefaultConfig())
+	cfg, err := vmapi.ProfileConfig(*profile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vmstat: %v\n", err)
+		os.Exit(1)
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "vmstat: %v\n", err)
+		os.Exit(1)
+	}
+	mach := vmapi.NewMachine(cfg)
 	var sys vmapi.System
 	switch *sysName {
 	case "uvm":

@@ -1,10 +1,11 @@
 // Command quickstart boots a simulated machine, runs UVM on it, and exercises the
 // basic API — file mapping, copy-on-write, fork isolation, and paging.
 //
-//	go run ./examples/quickstart
+//	go run ./examples/quickstart [-profile hdd97|nvme|ramdisk]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -14,8 +15,16 @@ import (
 )
 
 func main() {
-	// A 32 MB machine with a 128 MB swap partition — the paper's testbed.
-	mach := vmapi.NewMachine(vmapi.DefaultConfig())
+	profile := flag.String("profile", "", "machine profile: hdd97 | nvme | ramdisk (default hdd97)")
+	flag.Parse()
+
+	// The paper's 32 MB testbed by default; -profile swaps the disk model
+	// and machine-size preset.
+	cfg, err := vmapi.ProfileConfig(*profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mach := vmapi.NewMachine(cfg)
 	sys := uvm.Boot(mach)
 
 	// Create a file and a process.
@@ -74,7 +83,8 @@ func main() {
 	if err := proc.TouchRange(big, 48<<20, true); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\ntouched 48 MB on a 32 MB machine in %v simulated time\n", mach.Clock.Now())
+	fmt.Printf("\ntouched 48 MB on a %d MB machine in %v simulated time\n",
+		int64(cfg.RAMPages)>>(20-param.PageShift), mach.Clock.Now())
 	fmt.Printf("pageouts: %d pages in %d swap I/Os (clusters of ~%d)\n",
 		mach.Stats.Get("vm.pageouts"), mach.Stats.Get("swap.ios"),
 		mach.Stats.Get("vm.pageouts")/max64(1, mach.Stats.Get("swap.ios")))

@@ -2,10 +2,11 @@
 // consumers of anonymous memory — used for a producer/consumer ring
 // buffer between two processes, on both VM systems.
 //
-//	go run ./examples/shmipc
+//	go run ./examples/shmipc [-profile hdd97|nvme|ramdisk]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -22,8 +23,14 @@ const (
 )
 
 func main() {
+	profile := flag.String("profile", "", "machine profile: hdd97 | nvme | ramdisk (default hdd97)")
+	flag.Parse()
+	cfg, err := vmapi.ProfileConfig(*profile)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, boot := range []vmapi.Booter{bsdvm.Boot, uvm.Boot} {
-		mach := vmapi.NewMachine(vmapi.DefaultConfig())
+		mach := vmapi.NewMachine(cfg)
 		sys := boot(mach)
 		shm := sysv.NewRegistry(sys)
 

@@ -3,10 +3,11 @@
 // moves it to a consumer three ways: classic double copy, page loanout +
 // page transfer (zero copy, COW preserved), and map entry passing.
 //
-//	go run ./examples/zerocopy
+//	go run ./examples/zerocopy [-profile hdd97|nvme|ramdisk]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -18,7 +19,13 @@ import (
 const msgPages = 64 // 256 KB message
 
 func main() {
-	mach := vmapi.NewMachine(vmapi.DefaultConfig())
+	profile := flag.String("profile", "", "machine profile: hdd97 | nvme | ramdisk (default hdd97)")
+	flag.Parse()
+	cfg, err := vmapi.ProfileConfig(*profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mach := vmapi.NewMachine(cfg)
 	sys := uvm.BootConfig(mach, uvm.DefaultConfig())
 
 	producer := mustProc(sys, "producer")

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"uvm/internal/param"
@@ -41,9 +42,20 @@ type Disk struct {
 	head    int64            // block the head sits after (sequential detection)
 	nextfit int64            // bump pointer for Alloc
 
-	// FailRead and FailWrite, when non-nil, are consulted before every
-	// transfer and may inject an I/O error for a given block. Used by the
-	// failure-injection tests.
+	// plan, when non-nil, is the declarative fault schedule consulted
+	// before every command (see faultplan.go). Installed by SetFaultPlan.
+	plan *FaultPlan
+	// dead is set once a device-death fault triggers (or Kill is
+	// called); every later command fails with ErrDeviceDead. Read
+	// lock-free by allocators deciding whether the device is worth
+	// landing on.
+	dead atomic.Bool
+
+	// FailRead and FailWrite, when non-nil, are consulted for every
+	// block a command would transfer and may inject an I/O error. They
+	// predate the declarative FaultPlan and remain for tests that need
+	// an arbitrary closure; a command stops at the first failing block,
+	// exactly like a plan-injected error.
 	FailRead  func(block int64) error
 	FailWrite func(block int64) error
 }
@@ -84,67 +96,130 @@ func (d *Disk) Alloc(n int64) (int64, error) {
 	return start, nil
 }
 
+// SetFaultPlan installs (or clears, with nil) the disk's declarative
+// fault schedule. Install before I/O starts; a plan must not be shared
+// between disks.
+func (d *Disk) SetFaultPlan(p *FaultPlan) {
+	d.mu.Lock()
+	d.plan = p
+	d.mu.Unlock()
+}
+
+// Dead reports whether the device has died (a device-death fault
+// triggered, or Kill was called). Lock-free: allocators poll it to stop
+// landing new work on a dead device.
+func (d *Disk) Dead() bool { return d.dead.Load() }
+
+// Kill marks the device dead immediately, as a device-death fault rule
+// would: every later command fails with ErrDeviceDead. Test/experiment
+// helper for death scenarios that are awkward to express as an Nth-op
+// rule.
+func (d *Disk) Kill() { d.dead.Store(true) }
+
+// validateBufs checks every buffer is exactly one page long. Runs before
+// any accounting: a malformed request never moves the head or charges
+// time, because no command was ever issued to the device.
+func validateBufs(bufs [][]byte) error {
+	for i, buf := range bufs {
+		if len(buf) != param.PageSize {
+			return fmt.Errorf("disk: buffer %d has size %d", i, len(buf))
+		}
+	}
+	return nil
+}
+
+// admit decides how many of a command's n pages transfer before a fault
+// stops it: n with no fault, fewer (with the fault's error) otherwise.
+// Consults the death flag, the declarative plan, then the legacy
+// FailRead/FailWrite hook — whichever trips earliest in the block run
+// wins. Caller holds d.mu.
+func (d *Disk) admit(start int64, n int, write bool) (int, error) {
+	if d.dead.Load() {
+		return 0, ErrDeviceDead
+	}
+	k, err := n, error(nil)
+	if d.plan != nil {
+		var die bool
+		k, die, err = d.plan.admit(start, n, write)
+		if die {
+			d.dead.Store(true)
+			d.stats.Inc("disk.deaths")
+		}
+	}
+	hook := d.FailRead
+	if write {
+		hook = d.FailWrite
+	}
+	if hook != nil {
+		for i := 0; i < k; i++ {
+			if herr := hook(start + int64(i)); herr != nil {
+				return i, herr
+			}
+		}
+	}
+	return k, err
+}
+
 // ReadPages transfers len(bufs) consecutive blocks starting at start into
 // the supplied page buffers. Each buffer must be param.PageSize long.
+//
+// Fault semantics: a command that faults at block k has read the first k
+// pages into their buffers; only those k pages are charged and counted,
+// and the head stops after them.
 func (d *Disk) ReadPages(start int64, bufs [][]byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if err := d.checkRange(start, int64(len(bufs))); err != nil {
 		return err
 	}
-	d.charge(start, len(bufs))
-	d.stats.Inc(sim.CtrDiskReads)
-	d.stats.Add(sim.CtrDiskPagesRead, int64(len(bufs)))
-	for i, buf := range bufs {
-		if len(buf) != param.PageSize {
-			return fmt.Errorf("disk: buffer %d has size %d", i, len(buf))
-		}
-		blk := start + int64(i)
-		if d.FailRead != nil {
-			if err := d.FailRead(blk); err != nil {
-				return err
-			}
-		}
-		if src, ok := d.blocks[blk]; ok {
-			copy(buf, src)
-		} else {
-			for j := range buf {
-				buf[j] = 0
-			}
-		}
+	if err := validateBufs(bufs); err != nil {
+		return err
 	}
-	return nil
+	k, err := d.admit(start, len(bufs), false)
+	if err != nil && errors.Is(err, ErrDeviceDead) && k == 0 {
+		// Dead controller: the command never reaches the medium.
+		d.stats.Inc("disk.errors")
+		return err
+	}
+	d.charge(start, k)
+	d.stats.Inc(sim.CtrDiskReads)
+	d.stats.Add(sim.CtrDiskPagesRead, int64(k))
+	d.readBlocks(start, bufs[:k])
+	if err != nil {
+		d.stats.Inc("disk.errors")
+	}
+	return err
 }
 
 // WritePages transfers len(data) consecutive blocks starting at start from
 // the supplied page buffers.
+//
+// Fault semantics mirror ReadPages: the first k pages of a command that
+// faults at block k are durable on the medium (this is what a torn
+// cluster write looks like), only they are charged and counted, and the
+// head stops after them.
 func (d *Disk) WritePages(start int64, data [][]byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if err := d.checkRange(start, int64(len(data))); err != nil {
 		return err
 	}
-	d.charge(start, len(data))
-	d.stats.Inc(sim.CtrDiskWrites)
-	d.stats.Add(sim.CtrDiskPagesWrite, int64(len(data)))
-	for i, src := range data {
-		if len(src) != param.PageSize {
-			return fmt.Errorf("disk: buffer %d has size %d", i, len(src))
-		}
-		blk := start + int64(i)
-		if d.FailWrite != nil {
-			if err := d.FailWrite(blk); err != nil {
-				return err
-			}
-		}
-		dst, ok := d.blocks[blk]
-		if !ok {
-			dst = make([]byte, param.PageSize)
-			d.blocks[blk] = dst
-		}
-		copy(dst, src)
+	if err := validateBufs(data); err != nil {
+		return err
 	}
-	return nil
+	k, err := d.admit(start, len(data), true)
+	if err != nil && errors.Is(err, ErrDeviceDead) && k == 0 {
+		d.stats.Inc("disk.errors")
+		return err
+	}
+	d.charge(start, k)
+	d.stats.Inc(sim.CtrDiskWrites)
+	d.stats.Add(sim.CtrDiskPagesWrite, int64(k))
+	d.writeBlocks(start, data[:k])
+	if err != nil {
+		d.stats.Inc("disk.errors")
+	}
+	return err
 }
 
 // ReadPagesDeferred reads like ReadPages but charges no time to the
@@ -157,27 +232,21 @@ func (d *Disk) ReadPagesDeferred(start int64, bufs [][]byte) error {
 	if err := d.checkRange(start, int64(len(bufs))); err != nil {
 		return err
 	}
-	d.stats.Inc("disk.reads.deferred")
-	d.chargeDeferred(start, len(bufs))
-	for i, buf := range bufs {
-		if len(buf) != param.PageSize {
-			return fmt.Errorf("disk: buffer %d has size %d", i, len(buf))
-		}
-		blk := start + int64(i)
-		if d.FailRead != nil {
-			if err := d.FailRead(blk); err != nil {
-				return err
-			}
-		}
-		if src, ok := d.blocks[blk]; ok {
-			copy(buf, src)
-		} else {
-			for j := range buf {
-				buf[j] = 0
-			}
-		}
+	if err := validateBufs(bufs); err != nil {
+		return err
 	}
-	return nil
+	k, err := d.admit(start, len(bufs), false)
+	if err != nil && errors.Is(err, ErrDeviceDead) && k == 0 {
+		d.stats.Inc("disk.errors")
+		return err
+	}
+	d.stats.Inc("disk.reads.deferred")
+	d.chargeDeferred(start, k)
+	d.readBlocks(start, bufs[:k])
+	if err != nil {
+		d.stats.Inc("disk.errors")
+	}
+	return err
 }
 
 // WritePagesDeferred stores data like WritePages but charges no time to
@@ -190,18 +259,43 @@ func (d *Disk) WritePagesDeferred(start int64, data [][]byte) error {
 	if err := d.checkRange(start, int64(len(data))); err != nil {
 		return err
 	}
+	if err := validateBufs(data); err != nil {
+		return err
+	}
+	k, err := d.admit(start, len(data), true)
+	if err != nil && errors.Is(err, ErrDeviceDead) && k == 0 {
+		d.stats.Inc("disk.errors")
+		return err
+	}
 	d.stats.Inc("disk.writes.deferred")
-	d.chargeDeferred(start, len(data))
-	for i, src := range data {
-		if len(src) != param.PageSize {
-			return fmt.Errorf("disk: buffer %d has size %d", i, len(src))
-		}
-		blk := start + int64(i)
-		if d.FailWrite != nil {
-			if err := d.FailWrite(blk); err != nil {
-				return err
+	d.chargeDeferred(start, k)
+	d.writeBlocks(start, data[:k])
+	if err != nil {
+		d.stats.Inc("disk.errors")
+	}
+	return err
+}
+
+// readBlocks copies the first len(bufs) blocks at start into their
+// buffers (absent blocks read as zeros). Caller holds d.mu and has
+// already validated, charged and counted the transfer.
+func (d *Disk) readBlocks(start int64, bufs [][]byte) {
+	for i, buf := range bufs {
+		if src, ok := d.blocks[start+int64(i)]; ok {
+			copy(buf, src)
+		} else {
+			for j := range buf {
+				buf[j] = 0
 			}
 		}
+	}
+}
+
+// writeBlocks stores the first len(data) blocks at start. Caller holds
+// d.mu and has already validated, charged and counted the transfer.
+func (d *Disk) writeBlocks(start int64, data [][]byte) {
+	for i, src := range data {
+		blk := start + int64(i)
 		dst, ok := d.blocks[blk]
 		if !ok {
 			dst = make([]byte, param.PageSize)
@@ -209,11 +303,14 @@ func (d *Disk) WritePagesDeferred(start int64, data [][]byte) error {
 		}
 		copy(dst, src)
 	}
-	return nil
 }
 
+// checkRange rejects I/O outside [0, nblocks). The bound is checked
+// without computing start+n, which can wrap on adversarial inputs (a
+// fault plan probing with huge block numbers must hit ErrOutOfRange, not
+// a wrapped-around "valid" range).
 func (d *Disk) checkRange(start, n int64) error {
-	if start < 0 || n < 0 || start+n > d.nblocks {
+	if start < 0 || n < 0 || n > d.nblocks || start > d.nblocks-n {
 		return ErrOutOfRange
 	}
 	return nil

@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"uvm/internal/bsdvm"
+	"uvm/internal/sim"
 	"uvm/internal/uvm"
 	"uvm/internal/vfs"
 	"uvm/internal/vmapi"
@@ -23,6 +24,32 @@ import (
 // vnodeAlias keeps experiment signatures compact.
 type vnodeAlias = vfs.Vnode
 
+// profile is the machine profile every experiment machine boots with.
+// Empty — the paper's hdd97 testbed — unless SetProfile was called, so
+// default runs stay byte-identical to the pre-profile code. Set once by
+// the driver before experiments run; not safe to change concurrently
+// with a running experiment.
+var profile string
+
+// SetProfile selects the machine profile for subsequent experiment runs
+// (uvmbench -profile). Empty restores the default.
+func SetProfile(name string) error {
+	if _, err := sim.CostsForProfile(name); err != nil {
+		return err
+	}
+	profile = name
+	return nil
+}
+
+// CurrentProfile returns the profile experiments boot with, naming the
+// default explicitly.
+func CurrentProfile() string {
+	if profile == "" {
+		return sim.DefaultProfile
+	}
+	return profile
+}
+
 // stdConfig is the paper's testbed: 32 MB of RAM (§6).
 func stdConfig() vmapi.MachineConfig {
 	return vmapi.MachineConfig{
@@ -30,6 +57,7 @@ func stdConfig() vmapi.MachineConfig {
 		SwapPages: 128 << 20 >> 12,
 		FSPages:   256 << 20 >> 12,
 		MaxVnodes: 2000,
+		Profile:   profile,
 	}
 }
 

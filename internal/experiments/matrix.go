@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"uvm/internal/bsdvm"
+	"uvm/internal/disk"
+	"uvm/internal/sim"
+	"uvm/internal/uvm"
+	"uvm/internal/vmapi"
+	"uvm/internal/workload"
+)
+
+// The machine-profile matrix: the same workloads run across every named
+// machine profile, optionally under an injected fault schedule, one
+// report per cell. The paper measured one machine (hdd97); the matrix is
+// how every conclusion built on top of it — clustering wins, overlap
+// wins, pipeline error handling — gets re-checked when the disk model is
+// swapped for a modern one, and how the fault plans are exercised
+// systematically rather than ad hoc per test.
+//
+// Every cell ends with a consistency sweep: after Shutdown the machine
+// must have zero Busy pages. A leaked Busy page means some error path
+// kept a claim it should have released, and the cell fails even if the
+// workload itself reported success.
+
+// MatrixCell is one (workload, profile, fault-schedule) run of the
+// matrix: its report text, its end-of-run Busy-page sweep, and its
+// outcome.
+type MatrixCell struct {
+	Workload   string
+	Profile    string
+	Faults     bool   // ran with the injected fault schedule on swap
+	Report     string // per-cell report (archived by CI)
+	BusyLeaked int    // Busy pages found after Shutdown; must be 0
+	Err        error
+}
+
+// Name returns the cell's report-file-friendly identifier.
+func (c MatrixCell) Name() string {
+	name := c.Workload + "-" + c.Profile
+	if c.Faults {
+		name += "-faults"
+	}
+	return name
+}
+
+// MatrixWorkloads returns the matrix's workload names in canonical
+// order: the boot/exec scenario from internal/workload, the reclaim
+// bandwidth cell, and the object writeback cell.
+func MatrixWorkloads() []string { return []string{"scenario", "reclaim", "objwb"} }
+
+// MatrixFaultPlan returns the fault schedule the matrix's fault cells
+// install on the swap disk: a torn cluster write, then transient write
+// and read errors, all count-limited so the system has to absorb each
+// class and then recover. Fresh per cell — plans hold per-device trigger
+// state.
+func MatrixFaultPlan() *disk.FaultPlan {
+	return disk.NewFaultPlan(
+		disk.FaultRule{Kind: disk.FaultTornWrite, Block: disk.BlockAny, AfterOps: 8, Count: 3, TornPages: 2},
+		disk.FaultRule{Kind: disk.FaultWriteError, Block: disk.BlockAny, AfterOps: 15, Count: 2},
+		disk.FaultRule{Kind: disk.FaultReadError, Block: disk.BlockAny, AfterOps: 10, Count: 3},
+	)
+}
+
+// RunMatrix runs every workload × profile cell and, with withFaults, one
+// fault-injected reclaim cell per profile. Cells run sequentially (each
+// boots its own machine); a failing cell doesn't stop the rest.
+func RunMatrix(workloads, profiles []string, withFaults, quick bool) []MatrixCell {
+	var cells []MatrixCell
+	for _, wl := range workloads {
+		for _, prof := range profiles {
+			cells = append(cells, runMatrixCell(wl, prof, false, quick))
+		}
+	}
+	if withFaults {
+		for _, prof := range profiles {
+			cells = append(cells, runMatrixCell("reclaim", prof, true, quick))
+		}
+	}
+	return cells
+}
+
+func runMatrixCell(wl, prof string, faults, quick bool) (c MatrixCell) {
+	c = MatrixCell{Workload: wl, Profile: prof, Faults: faults}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "matrix cell %s: workload=%s profile=%s faults=%v\n",
+		c.Name(), wl, prof, faults)
+	defer func() {
+		if r := recover(); r != nil {
+			c.Err = fmt.Errorf("matrix: cell %s panicked: %v", c.Name(), r)
+		}
+		if c.Err != nil {
+			fmt.Fprintf(&buf, "FAILED: %v\n", c.Err)
+		} else {
+			fmt.Fprintf(&buf, "ok (busy sweep clean)\n")
+		}
+		c.Report = buf.String()
+	}()
+
+	var leaked int
+	var err error
+	switch wl {
+	case "scenario":
+		leaked, err = matrixScenario(prof, &buf)
+	case "reclaim":
+		leaked, err = matrixReclaim(prof, faults, quick, &buf)
+	case "objwb":
+		leaked, err = matrixObjWB(prof, quick, &buf)
+	default:
+		err = fmt.Errorf("matrix: unknown workload %q (valid: %v)", wl, MatrixWorkloads())
+	}
+	c.BusyLeaked = leaked
+	if err == nil && leaked > 0 {
+		err = fmt.Errorf("matrix: cell %s leaked %d Busy pages", c.Name(), leaked)
+	}
+	c.Err = err
+	return c
+}
+
+// matrixScenario boots both VM systems on the profile's machine preset
+// and runs the multi-user boot scenario — the Table 1 structural
+// workload — reporting each system's map-entry census and simulated
+// time.
+func matrixScenario(prof string, w io.Writer) (int, error) {
+	cfg, err := vmapi.ProfileConfig(prof)
+	if err != nil {
+		return 0, err
+	}
+	leaked := 0
+	for _, boot := range []NamedBooter{{"bsdvm", bsdvm.Boot}, {"uvm", uvm.Boot}} {
+		mach := vmapi.NewMachine(cfg)
+		sys := boot.Boot(mach)
+		procs, err := workload.MultiUserBoot(sys)
+		if err != nil {
+			sys.Shutdown()
+			return leaked, err
+		}
+		fmt.Fprintf(w, "%-6s multi-user boot: %d procs, kernel entries %d, total entries %d, sim time %v\n",
+			boot.Name, len(procs), sys.KernelMapEntries(), sys.TotalMapEntries(), mach.Clock.Now())
+		for _, p := range procs {
+			p.Exit()
+		}
+		sys.Shutdown()
+		leaked += len(mach.Mem.BusyPages())
+	}
+	return leaked, nil
+}
+
+// matrixReclaim runs the full reclaim pipeline (async clustered pageout,
+// parallel workers, clustered pagein) under overcommit — optionally with
+// the injected fault schedule on the swap disk, in which case failed
+// accesses are counted rather than fatal and the cell additionally
+// reports how often each fault rule fired.
+func matrixReclaim(prof string, faults, quick bool, w io.Writer) (int, error) {
+	var plan *disk.FaultPlan
+	if faults {
+		plan = MatrixFaultPlan()
+	}
+	tune := func(c *uvm.Config) {
+		c.AsyncPageout = true
+		c.PageoutWindow = 4
+		c.ReclaimWorkers = 4
+		c.PageinCluster = 8
+	}
+	// Each producer must touch more pages than its share of RAM or the
+	// cell never pages out: 4 producers × 700 accesses over 512-page
+	// regions demands 2048 pages of the 1024-page machine.
+	accesses := iters(quick, 700, 1500)
+	pt, leaked, err := ReclaimBWRunOn(prof, plan, "async-4w+pgin", tune, accesses)
+	if err != nil {
+		return leaked, err
+	}
+	fmt.Fprintf(w, "reclaim async-4w+pgin: %d accesses, %d pageouts, sim %9.0f pg/s (async clusters %d, pagein rides %d, io errors %d)\n",
+		pt.Accesses, pt.Pageouts, pt.SimBW, pt.AsyncClusters, pt.PageinRides, pt.IOErrors)
+	if plan != nil {
+		for i, kind := range []disk.FaultKind{disk.FaultTornWrite, disk.FaultWriteError, disk.FaultReadError} {
+			fmt.Fprintf(w, "fault rule %-11s fired %d times\n", kind, plan.Fired(i))
+		}
+	}
+	return leaked, nil
+}
+
+// matrixObjWB runs the clustered asynchronous object-writeback pipeline
+// (msync rounds over a shared file mapping) on the profile.
+func matrixObjWB(prof string, quick bool, w io.Writer) (int, error) {
+	tune := func(c *uvm.Config) {
+		c.AsyncWriteback = true
+		c.WritebackWindow = 4
+		c.WritebackCluster = 16
+	}
+	rounds := iters(quick, 2, 6)
+	pt, leaked, err := ObjWBRunOn(prof, "async-cluster", "vnode", tune, rounds)
+	if err != nil {
+		return leaked, err
+	}
+	fmt.Fprintf(w, "objwb vnode async-cluster: %d msyncs, %d pageouts, sim %10.0f pg/s, disk-busy %v (%d wb clusters)\n",
+		pt.Msyncs, pt.Pageouts, pt.SimBW, pt.DiskBusy, pt.Clusters)
+	return leaked, nil
+}
+
+// ReportMatrix runs the full matrix and renders the summary table;
+// per-cell reports go through emit (cell name → report text), which
+// drivers use to archive one file per cell. Returns an error if any cell
+// failed.
+func ReportMatrix(w io.Writer, profiles []string, withFaults, quick bool,
+	emit func(name, report string) error) error {
+	if len(profiles) == 0 {
+		profiles = sim.Profiles()
+	}
+	header(w, "Matrix: workload × machine profile (+ fault schedules)")
+	cells := RunMatrix(MatrixWorkloads(), profiles, withFaults, quick)
+	failed := 0
+	for _, c := range cells {
+		status := "ok"
+		if c.Err != nil {
+			status = "FAIL: " + c.Err.Error()
+			failed++
+		}
+		fmt.Fprintf(w, "%-24s busy-leaked=%d  %s\n", c.Name(), c.BusyLeaked, status)
+		if emit != nil {
+			if err := emit(c.Name(), c.Report); err != nil {
+				return err
+			}
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("matrix: %d of %d cells failed", failed, len(cells))
+	}
+	return nil
+}

@@ -83,11 +83,20 @@ func objWBConfigs() []objWBConfig {
 // ObjWBRun measures one configuration on one backend: rounds of
 // dirty-everything then Msync over a region that stays resident.
 func ObjWBRun(cfgName, backend string, tune func(*uvm.Config), rounds int) (ObjWBPoint, error) {
+	pt, _, err := ObjWBRunOn(profile, cfgName, backend, tune, rounds)
+	return pt, err
+}
+
+// ObjWBRunOn is ObjWBRun on a named machine profile. Returns the
+// measurement plus the number of Busy pages leaked (swept after
+// Shutdown; always 0 unless a writeback error path lost a claim).
+func ObjWBRunOn(prof, cfgName, backend string, tune func(*uvm.Config), rounds int) (ObjWBPoint, int, error) {
 	mach := vmapi.NewMachine(vmapi.MachineConfig{
 		RAMPages:  objWBRAMPages,
 		SwapPages: 65536,
 		FSPages:   4096,
 		MaxVnodes: 16,
+		Profile:   prof,
 	})
 	cfg := uvm.DefaultConfig()
 	tune(&cfg)
@@ -96,7 +105,7 @@ func ObjWBRun(cfgName, backend string, tune func(*uvm.Config), rounds int) (ObjW
 
 	p, err := sys.NewProcess("wb")
 	if err != nil {
-		return ObjWBPoint{}, err
+		return ObjWBPoint{}, 0, err
 	}
 	defer p.Exit()
 
@@ -104,25 +113,25 @@ func ObjWBRun(cfgName, backend string, tune func(*uvm.Config), rounds int) (ObjW
 	switch backend {
 	case "vnode":
 		if err := mach.FS.Create("/objwb", objWBRegionPages*param.PageSize, nil); err != nil {
-			return ObjWBPoint{}, err
+			return ObjWBPoint{}, 0, err
 		}
 		vn, err := mach.FS.Open("/objwb")
 		if err != nil {
-			return ObjWBPoint{}, err
+			return ObjWBPoint{}, 0, err
 		}
 		defer vn.Unref()
 		va, err = p.Mmap(0, objWBRegionPages*param.PageSize, param.ProtRW, vmapi.MapShared, vn, 0)
 		if err != nil {
-			return ObjWBPoint{}, err
+			return ObjWBPoint{}, 0, err
 		}
 	case "aobj":
 		va, err = p.Mmap(0, objWBRegionPages*param.PageSize, param.ProtRW,
 			vmapi.MapAnon|vmapi.MapShared, nil, 0)
 		if err != nil {
-			return ObjWBPoint{}, err
+			return ObjWBPoint{}, 0, err
 		}
 	default:
-		return ObjWBPoint{}, fmt.Errorf("objwb: unknown backend %q", backend)
+		return ObjWBPoint{}, 0, fmt.Errorf("objwb: unknown backend %q", backend)
 	}
 
 	wallStart := time.Now()
@@ -130,15 +139,17 @@ func ObjWBRun(cfgName, backend string, tune func(*uvm.Config), rounds int) (ObjW
 	for r := 0; r < rounds; r++ {
 		for i := 0; i < objWBRegionPages; i++ {
 			if err := p.Access(va+param.VAddr(i)*param.PageSize, true); err != nil {
-				return ObjWBPoint{}, err
+				return ObjWBPoint{}, 0, err
 			}
 		}
 		if err := p.Msync(va, objWBRegionPages*param.PageSize); err != nil {
-			return ObjWBPoint{}, err
+			return ObjWBPoint{}, 0, err
 		}
 	}
 	wall := time.Since(wallStart)
 	simT := mach.Clock.Now() - simStart
+	sys.Shutdown()
+	leaked := len(mach.Mem.BusyPages())
 
 	pt := ObjWBPoint{
 		Config:   cfgName,
@@ -156,7 +167,7 @@ func ObjWBRun(cfgName, backend string, tune func(*uvm.Config), rounds int) (ObjW
 	if s := simT.Seconds(); s > 0 {
 		pt.SimBW = float64(pt.Pageouts) / s
 	}
-	return pt, nil
+	return pt, leaked, nil
 }
 
 // ObjWB runs every pipeline configuration on both backends.

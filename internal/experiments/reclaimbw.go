@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"uvm/internal/disk"
 	"uvm/internal/param"
 	"uvm/internal/sim"
 	"uvm/internal/uvm"
@@ -49,6 +50,7 @@ type ReclaimBWPoint struct {
 	WallBW        float64 // pageouts per wall second
 	SimBW         float64 // pageouts per simulated second
 	P50, P99      time.Duration
+	IOErrors      int // accesses that failed under an injected fault plan
 }
 
 const (
@@ -95,11 +97,26 @@ func reclaimBWConfigs() []reclaimBWConfig {
 // rides on reclaim; per-access wall latency and the machine's pageout
 // counters are collected.
 func ReclaimBWRun(cfgName string, tune func(*uvm.Config), accessesPerProducer int) (ReclaimBWPoint, error) {
+	pt, _, err := ReclaimBWRunOn(profile, nil, cfgName, tune, accessesPerProducer)
+	return pt, err
+}
+
+// ReclaimBWRunOn is ReclaimBWRun on a named machine profile, optionally
+// with a fault plan installed on the swap disk. With a plan, access
+// errors don't abort the run: an injected fault surfacing as a fault
+// error is the behaviour under test, so failed accesses are counted in
+// IOErrors and the producers keep going. Returns the measurement plus
+// the number of Busy pages leaked (swept after Shutdown; always 0
+// unless an error path lost a claim — the matrix fails cells on it).
+func ReclaimBWRunOn(prof string, swapPlan *disk.FaultPlan, cfgName string,
+	tune func(*uvm.Config), accessesPerProducer int) (ReclaimBWPoint, int, error) {
 	mach := vmapi.NewMachine(vmapi.MachineConfig{
-		RAMPages:  reclaimBWRAMPages,
-		SwapPages: 65536,
-		FSPages:   1024,
-		MaxVnodes: 16,
+		RAMPages:      reclaimBWRAMPages,
+		SwapPages:     65536,
+		FSPages:       1024,
+		MaxVnodes:     16,
+		Profile:       prof,
+		SwapFaultPlan: swapPlan,
 	})
 	cfg := uvm.DefaultConfig()
 	tune(&cfg)
@@ -119,13 +136,13 @@ func ReclaimBWRun(cfgName string, tune func(*uvm.Config), accessesPerProducer in
 	for w := range producers {
 		p, err := sys.NewProcess(fmt.Sprintf("bw%d", w))
 		if err != nil {
-			return ReclaimBWPoint{}, err
+			return ReclaimBWPoint{}, 0, err
 		}
 		defer p.Exit()
 		va, err := p.Mmap(0, reclaimBWRegionPages*param.PageSize, param.ProtRW,
 			vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
 		if err != nil {
-			return ReclaimBWPoint{}, err
+			return ReclaimBWPoint{}, 0, err
 		}
 		producers[w] = producer{p, va}
 	}
@@ -134,6 +151,7 @@ func ReclaimBWRun(cfgName string, tune func(*uvm.Config), accessesPerProducer in
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		all      []time.Duration
+		ioErrs   int
 		firstErr error
 	)
 	wallStart := time.Now()
@@ -143,17 +161,29 @@ func ReclaimBWRun(cfgName string, tune func(*uvm.Config), accessesPerProducer in
 		go func(pr producer) {
 			defer wg.Done()
 			lat := make([]time.Duration, 0, accessesPerProducer)
+			errs := 0
 			var verr error
 			for i := 0; i < accessesPerProducer && verr == nil; i++ {
 				addr := pr.va + param.VAddr(i%reclaimBWRegionPages)*param.PageSize
 				t0 := time.Now()
-				verr = pr.p.Access(addr, true)
+				if err := pr.p.Access(addr, true); err != nil {
+					if swapPlan == nil {
+						verr = err
+					} else {
+						// Injected faults surface here by design: count
+						// and keep going — the cell is probing whether
+						// the system stays consistent, not whether the
+						// access succeeds.
+						errs++
+					}
+				}
 				lat = append(lat, time.Since(t0))
 			}
 			mu.Lock()
 			if verr != nil && firstErr == nil {
 				firstErr = verr
 			}
+			ioErrs += errs
 			all = append(all, lat...)
 			mu.Unlock()
 		}(pr)
@@ -161,9 +191,10 @@ func ReclaimBWRun(cfgName string, tune func(*uvm.Config), accessesPerProducer in
 	wg.Wait()
 	wall := time.Since(wallStart)
 	if firstErr != nil {
-		return ReclaimBWPoint{}, firstErr
+		return ReclaimBWPoint{}, 0, firstErr
 	}
 	sys.Shutdown() // drain in-flight pageout before reading counters
+	leaked := len(mach.Mem.BusyPages())
 	simT := mach.Clock.Now() - simStart
 
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
@@ -183,6 +214,7 @@ func ReclaimBWRun(cfgName string, tune func(*uvm.Config), accessesPerProducer in
 		Sim:           simT,
 		P50:           pct(0.50),
 		P99:           pct(0.99),
+		IOErrors:      ioErrs,
 	}
 	if s := wall.Seconds(); s > 0 {
 		pt.WallBW = float64(pt.Pageouts) / s
@@ -190,7 +222,7 @@ func ReclaimBWRun(cfgName string, tune func(*uvm.Config), accessesPerProducer in
 	if s := simT.Seconds(); s > 0 {
 		pt.SimBW = float64(pt.Pageouts) / s
 	}
-	return pt, nil
+	return pt, leaked, nil
 }
 
 // ReclaimBW runs every pipeline configuration.

@@ -84,6 +84,7 @@ func scalingRun(name string, boot vmapi.Booter, workers int) (ScalingPoint, erro
 		SwapPages: 16384,
 		FSPages:   1024,
 		MaxVnodes: 16,
+		Profile:   profile,
 	})
 	sys := boot(mach)
 

@@ -278,6 +278,22 @@ func (m *Mem) InactivePages() int {
 	return n
 }
 
+// BusyPages sweeps every frame and returns the ones with Busy set. With
+// the system quiescent (no faults running, pipelines drained, Shutdown
+// complete) the answer must be empty: a Busy page at that point is a
+// leaked claim from an error path that forgot to release it. The
+// fault-injection suite and the experiment matrix assert exactly that at
+// end of run.
+func (m *Mem) BusyPages() []*Page {
+	var busy []*Page
+	for i := range m.frames {
+		if m.frames[i].Busy.Load() {
+			busy = append(busy, &m.frames[i])
+		}
+	}
+	return busy
+}
+
 // Alloc takes a frame off a free list. If zero is set the frame is
 // zero-filled (and the zeroing cost charged); otherwise its previous
 // contents are undefined, exactly like a real free-list page. Allocation

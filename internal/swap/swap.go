@@ -312,6 +312,12 @@ func (s *Swap) Alloc() (int64, error) {
 // disk); devices are tried in priority order, shards round-robin within a
 // device, each with a next-fit scan. Contiguity is what lets UVM page a
 // whole cluster out in one operation.
+//
+// A device whose disk has died (disk.Disk.Dead) is retired from the
+// scan: new allocations stop landing on it, so pageout falls over to the
+// surviving devices instead of queueing I/O that can only fail. Slots
+// already on the dead device stay allocated — their pagein errors are
+// the faulting process' problem, not the allocator's.
 func (s *Swap) AllocContig(n int) (int64, error) {
 	if n <= 0 {
 		return NoSlot, fmt.Errorf("swap: bad cluster size %d", n)
@@ -321,6 +327,9 @@ func (s *Swap) AllocContig(n int) (int64, error) {
 		return NoSlot, ErrNoSwap
 	}
 	for _, d := range s.devs.Load().byPrio {
+		if d.dev.Dead() {
+			continue
+		}
 		if slot, ok := d.alloc(int64(n)); ok {
 			s.nInUse.Add(int64(n))
 			s.stats.Add(sim.CtrSwapSlotsLive, int64(n))

@@ -94,6 +94,7 @@ func (v *Vnode) Refs() int {
 	return v.refs
 }
 
+// String formats the vnode's identity and state for logs and errors.
 func (v *Vnode) String() string {
 	return fmt.Sprintf("vnode(%s size=%d refs=%d)", v.f.name, v.f.size, v.refs)
 }

@@ -11,6 +11,7 @@ package vmapi
 
 import (
 	"errors"
+	"fmt"
 
 	"uvm/internal/disk"
 	"uvm/internal/param"
@@ -73,6 +74,42 @@ type MachineConfig struct {
 	// using it). 0 keeps swap.DefaultAIOWindow; uvm.Config.PageoutWindow
 	// can still override it at boot.
 	SwapAIOWindow int
+
+	// Profile names the machine's cost profile (sim.Profiles). Empty
+	// means sim.DefaultProfile — the paper's 1997 testbed — and is
+	// byte-identical to the pre-profile behaviour.
+	Profile string
+
+	// FSFaultPlan and SwapFaultPlan, when non-nil, are installed on the
+	// filesystem and swap disks at boot (disk.FaultPlan). Plans are
+	// per-device state and must not be shared between the two.
+	FSFaultPlan   *disk.FaultPlan
+	SwapFaultPlan *disk.FaultPlan
+}
+
+// Validate reports the first malformed field of a config, naming it.
+// NewMachine calls it and panics on error; drivers that accept config
+// from flags should call it themselves and print the message instead.
+func (cfg MachineConfig) Validate() error {
+	if cfg.RAMPages <= 0 {
+		return fmt.Errorf("vmapi: MachineConfig.RAMPages must be positive (got %d)", cfg.RAMPages)
+	}
+	if cfg.SwapPages <= 0 {
+		return fmt.Errorf("vmapi: MachineConfig.SwapPages must be positive (got %d)", cfg.SwapPages)
+	}
+	if cfg.FSPages <= 0 {
+		return fmt.Errorf("vmapi: MachineConfig.FSPages must be positive (got %d)", cfg.FSPages)
+	}
+	if cfg.MaxVnodes < 1 {
+		return fmt.Errorf("vmapi: MachineConfig.MaxVnodes must be at least 1 (got %d)", cfg.MaxVnodes)
+	}
+	if cfg.SwapAIOWindow < 0 {
+		return fmt.Errorf("vmapi: MachineConfig.SwapAIOWindow must not be negative (got %d)", cfg.SwapAIOWindow)
+	}
+	if _, err := sim.CostsForProfile(cfg.Profile); err != nil {
+		return fmt.Errorf("vmapi: MachineConfig.Profile: %w", err)
+	}
+	return nil
 }
 
 // DefaultConfig is a 32 MB Pentium-II class machine matching the paper's
@@ -85,6 +122,31 @@ func DefaultConfig() MachineConfig {
 		FSPages:   256 << 20 >> param.PageShift,
 		MaxVnodes: 2000,
 	}
+}
+
+// ProfileConfig returns the machine-size preset for a named profile: the
+// paper's testbed for hdd97 (identical to DefaultConfig), a larger
+// modern machine for nvme, and a small memory-rich box for ramdisk. The
+// preset carries the profile name, so NewMachine picks up the matching
+// cost table.
+func ProfileConfig(profile string) (MachineConfig, error) {
+	if _, err := sim.CostsForProfile(profile); err != nil {
+		return MachineConfig{}, err
+	}
+	cfg := DefaultConfig()
+	cfg.Profile = profile
+	switch profile {
+	case "nvme":
+		cfg.RAMPages = 128 << 20 >> param.PageShift
+		cfg.SwapPages = 256 << 20 >> param.PageShift
+		cfg.FSPages = 512 << 20 >> param.PageShift
+		cfg.MaxVnodes = 4000
+	case "ramdisk":
+		cfg.RAMPages = 64 << 20 >> param.PageShift
+		cfg.SwapPages = 64 << 20 >> param.PageShift
+		cfg.FSPages = 128 << 20 >> param.PageShift
+	}
+	return cfg, nil
 }
 
 // Machine is the simulated hardware + substrate a VM system boots on.
@@ -101,13 +163,28 @@ type Machine struct {
 	SwapDisk *disk.Disk
 }
 
-// NewMachine boots a machine per cfg with the default cost table.
+// NewMachine boots a machine per cfg, with the cost table named by
+// cfg.Profile (the calibrated 1997 table when unset). The config must be
+// valid; NewMachine panics with Validate's message otherwise — drivers
+// taking sizes from user input should Validate first.
 func NewMachine(cfg MachineConfig) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	clock := sim.NewClock()
-	costs := sim.DefaultCosts()
+	costs, err := sim.CostsForProfile(cfg.Profile)
+	if err != nil {
+		panic(err) // unreachable: Validate checked the profile
+	}
 	stats := sim.NewStats()
 	fsDisk := disk.New(clock, costs, stats, cfg.FSPages)
 	swDisk := disk.New(clock, costs, stats, cfg.SwapPages)
+	if cfg.FSFaultPlan != nil {
+		fsDisk.SetFaultPlan(cfg.FSFaultPlan)
+	}
+	if cfg.SwapFaultPlan != nil {
+		swDisk.SetFaultPlan(cfg.SwapFaultPlan)
+	}
 	sw := swap.New(clock, costs, stats, swDisk)
 	if cfg.SwapAIOWindow > 0 {
 		sw.SetAIOWindow(cfg.SwapAIOWindow)

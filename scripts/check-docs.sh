@@ -8,9 +8,10 @@
 #      libraries, "// Command ..." for main packages);
 #   3. undocumented exported identifiers (top-level funcs, methods,
 #      types, vars and consts without a doc comment) in internal/swap,
-#      internal/uvm and internal/pmap — the subsystems whose
-#      documentation this repo commits to keeping current. Members of
-#      grouped const/var blocks are outside the check's scope.
+#      internal/uvm, internal/pmap, internal/disk and internal/vfs — the
+#      subsystems whose documentation this repo commits to keeping
+#      current. Members of grouped const/var blocks are outside the
+#      check's scope.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 fail=0
@@ -42,8 +43,9 @@ for dir in $(go list -f '{{.Dir}}' ./...); do
   fi
 done
 
-# --- 3. exported identifiers in internal/swap, internal/uvm, internal/pmap
-for f in internal/swap/*.go internal/uvm/*.go internal/pmap/*.go; do
+# --- 3. exported identifiers in the documented subsystems ----------------
+for f in internal/swap/*.go internal/uvm/*.go internal/pmap/*.go \
+         internal/disk/*.go internal/vfs/*.go; do
   case "$f" in *_test.go) continue ;; esac
   if ! awk -v file="$f" '
     /^(func|type|var|const) [A-Z]/ || /^func \([^)]*\) [A-Z]/ {
