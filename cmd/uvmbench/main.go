@@ -9,10 +9,14 @@
 //	uvmbench -profile nvme        run on a named machine profile
 //	uvmbench -matrix -out DIR     run the workload × profile matrix,
 //	                              one report file per cell in DIR
+//	uvmbench -traffic             run the multi-tenant traffic driver
+//	                              (knobs: -tenants -dataset-pages -zipf
+//	                              -churn -ops)
 //
 // Experiment ids: table1 table2 table3 fig2 fig5 fig6 datamove rc
-// scaling pressure reclaimbw objwb. Machine profiles: hdd97 (default,
-// the paper's testbed), nvme, ramdisk.
+// scaling pressure reclaimbw objwb traffic. Machine profiles: hdd97
+// (default, the paper's testbed), nvme, ramdisk. Without -profile the
+// traffic driver covers both hdd97 and nvme.
 package main
 
 import (
@@ -34,6 +38,13 @@ func main() {
 		matrix   = flag.Bool("matrix", false, "run the workload × profile matrix (with fault cells)")
 		noFaults = flag.Bool("matrix-no-faults", false, "matrix: skip the fault-injected cells")
 		out      = flag.String("out", "", "matrix: directory for per-cell report files")
+
+		traffic = flag.Bool("traffic", false, "run the multi-tenant Zipf traffic driver")
+		tenants = flag.Int("tenants", 0, "traffic: simulated tenant processes (0 = config default)")
+		dataset = flag.Int("dataset-pages", 0, "traffic: corpus size in pages (0 = config default)")
+		zipfS   = flag.Float64("zipf", -1, "traffic: Zipf popularity exponent (negative = config default)")
+		churn   = flag.Int("churn", 0, "traffic: fork/exit churn period in requests (0 = config default)")
+		ops     = flag.Int("ops", 0, "traffic: duration in requests per worker (0 = config default)")
 	)
 	flag.Parse()
 
@@ -51,6 +62,20 @@ func main() {
 	if *matrix {
 		if err := runMatrix(*out, !*noFaults, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "uvmbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *traffic {
+		over := experiments.TrafficOverrides{
+			Tenants:      *tenants,
+			DatasetPages: *dataset,
+			ZipfS:        *zipfS,
+			ChurnEvery:   *churn,
+			OpsPerWorker: *ops,
+		}
+		if err := experiments.ReportTraffic(os.Stdout, *quick, over); err != nil {
+			fmt.Fprintf(os.Stderr, "uvmbench: traffic: %v\n", err)
 			os.Exit(1)
 		}
 		return

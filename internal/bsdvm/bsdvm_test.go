@@ -9,6 +9,7 @@ import (
 	"uvm/internal/sim"
 	"uvm/internal/vfs"
 	"uvm/internal/vmapi"
+	"uvm/internal/vmapi/testutil"
 )
 
 // testMachine boots a small machine suitable for unit tests.
@@ -24,7 +25,9 @@ func testMachine(ramPages int) *vmapi.Machine {
 func bootTest(t *testing.T, ramPages int) (*System, *vmapi.Machine) {
 	t.Helper()
 	m := testMachine(ramPages)
-	return BootConfig(m, DefaultConfig()), m
+	s := BootConfig(m, DefaultConfig())
+	testutil.SweepOnCleanup(t, s)
+	return s, m
 }
 
 func newProc(t *testing.T, s *System, name string) *process {
@@ -475,6 +478,7 @@ func TestSwapLeakWithoutCollapse(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.DisableCollapse = disableCollapse
 		s := BootConfig(m, cfg)
+		testutil.SweepOnCleanup(t, s)
 		p, _ := s.NewProcess("leaker")
 		const pages = 24
 		va, _ := p.Mmap(0, pages*param.PageSize, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
@@ -537,6 +541,7 @@ func TestObjectCacheLimitEviction(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.ObjCacheLimit = 5
 	s := BootConfig(m, cfg)
+	testutil.SweepOnCleanup(t, s)
 	p, _ := s.NewProcess("websrv")
 
 	touch := func(name string) {

@@ -7,6 +7,7 @@ import (
 	"uvm/internal/param"
 	"uvm/internal/vfs"
 	"uvm/internal/vmapi"
+	"uvm/internal/vmapi/testutil"
 )
 
 // Additional coverage for BSD VM internals: collapse/bypass corners, the
@@ -80,6 +81,7 @@ func TestDisableObjCache(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.DisableObjCache = true
 	s := BootConfig(m, cfg)
+	testutil.SweepOnCleanup(t, s)
 	vn := mkfile(t, m, "/nc", 2, 1)
 	p, _ := s.NewProcess("p")
 	va, _ := p.Mmap(0, 2*param.PageSize, param.ProtRead, vmapi.MapShared, vn, 0)
@@ -109,6 +111,7 @@ func TestKernelEntryPoolExhaustionPanics(t *testing.T) {
 		}
 	}()
 	s := BootConfig(m, cfg)
+	testutil.SweepOnCleanup(t, s)
 	for i := 0; i < 10; i++ {
 		if _, err := s.KernelAlloc(1, param.ProtRW); err != nil {
 			t.Fatalf("unexpected error: %v", err)
@@ -211,6 +214,7 @@ func TestObjectCacheReuseAfterEviction(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.ObjCacheLimit = 1
 	s := BootConfig(m, cfg)
+	testutil.SweepOnCleanup(t, s)
 	p, _ := s.NewProcess("p")
 	vnA := mkfile(t, m, "/a", 1, 0xA0)
 	vnB := mkfile(t, m, "/b", 1, 0xB0)
@@ -235,4 +239,65 @@ func TestObjectCacheReuseAfterEviction(t *testing.T) {
 	cycle(vnB, 0xB0)
 	vnA.Unref()
 	vnB.Unref()
+}
+
+// TestCollapseSwapOwnership is the regression test for the collapse
+// swap double-free: when a merge adopts a shadow's swap slots, slot
+// ownership must move with them — the donor's destroyPager must not
+// free adopted slots and the adopter must free exactly what it took.
+// Fork/exit churn over a region twice RAM (the traffic driver's
+// pattern, shrunk) pages shadow chains out and collapses them over and
+// over; the buggy block-granular transfer panics with "double free of
+// slot" in here. After every process exits, no swap may stay in use.
+func TestCollapseSwapOwnership(t *testing.T) {
+	m := vmapi.NewMachine(vmapi.MachineConfig{
+		RAMPages:  64,
+		SwapPages: 4096, // room for every generation's shadow-chain blocks
+		FSPages:   1024,
+		MaxVnodes: 50,
+	})
+	s := BootConfig(m, DefaultConfig())
+	testutil.SweepOnCleanup(t, s)
+	p := newProc(t, s, "p")
+	const pages = 96 // 1.5x RAM: every generation reclaims and pages out
+	va, err := p.Mmap(0, pages*param.PageSize, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TouchRange(va, pages*param.PageSize, true); err != nil {
+		t.Fatal(err)
+	}
+	touch := func(q vmapi.Process) {
+		t.Helper()
+		if err := q.TouchRange(va, pages*param.PageSize, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for gen := 0; gen < 6; gen++ {
+		// Three generations deep: the middle process's chain both adopts
+		// slots from below (when the grandchild dies) and donates them up
+		// (when it dies itself) — ownership must survive the relay.
+		c, err := p.Fork("c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		touch(c)
+		g, err := c.Fork("g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		touch(g)
+		touch(c)
+		g.Exit()
+		touch(c) // collapse: c's chain adopts g's leavings
+		c.Exit()
+		touch(p) // collapse: p's chain adopts from c, including relayed slots
+	}
+	if m.Stats.Get("bsdvm.collapse.merged") == 0 {
+		t.Fatal("churn produced no collapse merges; the test lost its target")
+	}
+	p.Exit()
+	if n := m.Swap.SlotsInUse(); n != 0 {
+		t.Fatalf("%d swap slots still in use after every process exited", n)
+	}
 }

@@ -236,7 +236,7 @@ func (s *System) collapse(o *object) {
 					top := idx - o.shadowOff
 					if top >= 0 && top < o.sizePg && o.pages[top] == nil && !o.hasSwap(top) {
 						s.ensureSwapPager(o)
-						o.pager.swp.adopt(top, slot)
+						o.pager.swp.adopt(top, slot, sh.pager.swp)
 						delete(sh.pager.swp.slots, idx)
 					}
 					// Slots left behind are freed by destroyPager below.

@@ -25,11 +25,17 @@ type vmPager struct {
 	swp *swapPager // swap pager private data
 }
 
-// swapPager tracks an anonymous object's swap blocks.
+// swapPager tracks an anonymous object's swap blocks. Ownership is
+// explicit: a pager frees the blocks it allocated itself minus any
+// slots ceded to a collapse adopter, plus the slots it adopted from
+// collapsed shadows (those are owned one slot at a time — the rest of
+// the donor's block stayed with the donor).
 type swapPager struct {
-	sys    *System
-	blocks map[int]int64 // block index -> first slot of the block
-	slots  map[int]int64 // page index -> assigned slot (within its block)
+	sys     *System
+	blocks  map[int]int64  // block index -> first slot of blocks this pager allocated
+	slots   map[int]int64  // page index -> assigned slot
+	adopted map[int64]bool // slots taken over from collapsed shadows, owned individually
+	ceded   map[int64]bool // slots inside our blocks whose ownership moved to an adopter
 }
 
 // newVnodePager allocates the vm_pager + vn_pager pair for a file.
@@ -48,9 +54,11 @@ func (s *System) ensureSwapPager(o *object) {
 	s.mach.Clock.Advance(s.mach.Costs.PagerAlloc)
 	s.mach.Stats.Inc("bsdvm.pager.alloc")
 	o.pager = &vmPager{swp: &swapPager{
-		sys:    s,
-		blocks: make(map[int]int64),
-		slots:  make(map[int]int64),
+		sys:     s,
+		blocks:  make(map[int]int64),
+		slots:   make(map[int]int64),
+		adopted: make(map[int64]bool),
+		ceded:   make(map[int64]bool),
 	}}
 	s.hashInsert(o.pager, o)
 }
@@ -67,14 +75,29 @@ func (s *System) hashRemove(p *vmPager) {
 	delete(s.pagerHash, p)
 }
 
-// destroyPager releases pager structures and any swap space they hold.
+// destroyPager releases pager structures and any swap space they hold:
+// the pager's own blocks (minus ceded slots, which an adopter now owns)
+// and its individually adopted slots.
 func (s *System) destroyPager(p *vmPager) {
 	if p.swp != nil {
 		for _, start := range p.swp.blocks {
-			s.mach.Swap.FreeRange(start, swapBlockPages)
+			if len(p.swp.ceded) == 0 {
+				s.mach.Swap.FreeRange(start, swapBlockPages)
+				continue
+			}
+			for i := int64(0); i < swapBlockPages; i++ {
+				if !p.swp.ceded[start+i] {
+					s.mach.Swap.Free(start + i)
+				}
+			}
+		}
+		for slot := range p.swp.adopted {
+			s.mach.Swap.Free(slot)
 		}
 		p.swp.blocks = nil
 		p.swp.slots = nil
+		p.swp.adopted = nil
+		p.swp.ceded = nil
 	}
 	s.hashRemove(p)
 }
@@ -107,20 +130,24 @@ func (sp *swapPager) slotFor(idx int) (int64, error) {
 	return slot, nil
 }
 
-// adopt takes over a slot moved up from a collapsed shadow. The slot keeps
-// its old disk location; it is remembered page-granularly but its original
-// block is owned by the dying pager, so the slot is copied into a block of
-// our own. (Real BSD VM moves the swap block pointers; modelling the copy
-// as a remap keeps the accounting simple while preserving slot counts.)
-func (sp *swapPager) adopt(idx int, slot int64) {
-	blk := idx / swapBlockPages
-	if _, ok := sp.blocks[blk]; !ok {
-		// Adopt the donor's block region lazily: record the slot directly.
-		// The donor removes the slot from its own table so it is not
-		// double-freed; block-level ownership transfers with first adopt.
-		sp.blocks[blk] = slot - int64(idx%swapBlockPages)
-	}
+// adopt takes over one slot moved up from a collapsing shadow. The slot
+// keeps its disk location; ownership moves with it, one slot at a time
+// — the donor cedes exactly this slot (the rest of its block stays the
+// donor's and dies with it), and the adopter will free it individually.
+// Block-granular transfer is wrong twice over: the donor's destroy
+// would free the whole block out from under the adopted slots, and the
+// adopter cannot even name the donor's block start when the shadow
+// offset is not block-aligned.
+func (sp *swapPager) adopt(idx int, slot int64, donor *swapPager) {
 	sp.slots[idx] = slot
+	sp.adopted[slot] = true
+	if donor.adopted[slot] {
+		// The donor itself adopted this slot from a deeper shadow; the
+		// individual ownership just moves up another level.
+		delete(donor.adopted, slot)
+	} else {
+		donor.ceded[slot] = true
+	}
 }
 
 // pagerHas reports whether o's pager holds data for page idx.
@@ -160,6 +187,12 @@ func (s *System) pagein(o *object, idx int) (*phys.Page, error) {
 		return nil, err
 	}
 	pg.Dirty.Store(o.anon) // anon data only lives on swap until written back again
+	// The page is resident in o now, so it must live on the paging
+	// queues regardless of what the fault maps: when the fault copies
+	// this page up (COW) it activates only the copy, and a frame left
+	// off-queue is invisible to the pagedaemon forever — enough churn
+	// strands all of RAM that way and allocation deadlocks spuriously.
+	s.mach.Mem.Activate(pg)
 	s.mach.Stats.Inc(sim.CtrPageIns)
 	return pg, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"uvm/internal/param"
 	"uvm/internal/vmapi"
+	"uvm/internal/vmapi/testutil"
 )
 
 // Range-clipping difftests: Madvise, Minherit and Mprotect must apply to
@@ -39,7 +40,7 @@ func TestMinheritClipsToRange(t *testing.T) {
 		name, boot := name, boot
 		t.Run(name, func(t *testing.T) {
 			sys, _ := clipMachine(boot)
-			defer sys.Shutdown()
+			defer testutil.ShutdownSweep(t, sys)
 			p, err := sys.NewProcess("parent")
 			if err != nil {
 				t.Fatal(err)
@@ -104,7 +105,7 @@ func TestMadviseClipsToRange(t *testing.T) {
 		name, boot := name, boot
 		t.Run(name, func(t *testing.T) {
 			sys, _ := clipMachine(boot)
-			defer sys.Shutdown()
+			defer testutil.ShutdownSweep(t, sys)
 			p, err := sys.NewProcess("p")
 			if err != nil {
 				t.Fatal(err)
@@ -151,7 +152,7 @@ func TestMprotectClipsToRange(t *testing.T) {
 		name, boot := name, boot
 		t.Run(name, func(t *testing.T) {
 			sys, _ := clipMachine(boot)
-			defer sys.Shutdown()
+			defer testutil.ShutdownSweep(t, sys)
 			p, err := sys.NewProcess("p")
 			if err != nil {
 				t.Fatal(err)

@@ -19,6 +19,7 @@ import (
 	"uvm/internal/uvm"
 	"uvm/internal/vfs"
 	"uvm/internal/vmapi"
+	"uvm/internal/vmapi/testutil"
 )
 
 // world is one system under differential test plus its live handles.
@@ -103,6 +104,8 @@ func runDiff(t *testing.T, seed uint64, steps int) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	testutil.SweepOnCleanup(t, bw.sys)
+	testutil.SweepOnCleanup(t, uw.sys)
 	rng := sim.NewRNG(seed)
 	var regions []region
 

@@ -126,6 +126,9 @@ func All(quick bool) []Runner {
 		{"objwb", "ObjWB: object writeback (msync) bandwidth, sync vs async vs clustered (beyond the paper)", func(w io.Writer) error {
 			return ReportObjWB(w, iters(quick, 4, 16))
 		}},
+		{"traffic", "Traffic: multi-tenant Zipf workload, fault tail latency (beyond the paper)", func(w io.Writer) error {
+			return ReportTraffic(w, quick, TrafficOverrides{ZipfS: -1})
+		}},
 	}
 }
 

@@ -49,8 +49,9 @@ func (c MatrixCell) Name() string {
 
 // MatrixWorkloads returns the matrix's workload names in canonical
 // order: the boot/exec scenario from internal/workload, the reclaim
-// bandwidth cell, and the object writeback cell.
-func MatrixWorkloads() []string { return []string{"scenario", "reclaim", "objwb"} }
+// bandwidth cell, the object writeback cell, and the multi-tenant
+// traffic cell.
+func MatrixWorkloads() []string { return []string{"scenario", "reclaim", "objwb", "traffic"} }
 
 // MatrixFaultPlan returns the fault schedule the matrix's fault cells
 // install on the swap disk: a torn cluster write, then transient write
@@ -109,6 +110,8 @@ func runMatrixCell(wl, prof string, faults, quick bool) (c MatrixCell) {
 		leaked, err = matrixReclaim(prof, faults, quick, &buf)
 	case "objwb":
 		leaked, err = matrixObjWB(prof, quick, &buf)
+	case "traffic":
+		leaked, err = matrixTraffic(prof, quick, &buf)
 	default:
 		err = fmt.Errorf("matrix: unknown workload %q (valid: %v)", wl, MatrixWorkloads())
 	}
@@ -198,6 +201,27 @@ func matrixObjWB(prof string, quick bool, w io.Writer) (int, error) {
 	}
 	fmt.Fprintf(w, "objwb vnode async-cluster: %d msyncs, %d pageouts, sim %10.0f pg/s, disk-busy %v (%d wb clusters)\n",
 		pt.Msyncs, pt.Pageouts, pt.SimBW, pt.DiskBusy, pt.Clusters)
+	return leaked, nil
+}
+
+// matrixTraffic runs the multi-tenant Zipf traffic driver — quick
+// shape, one mid-range worker count — on both systems, reporting each
+// system's fault-latency quantiles and reclaim-interference count.
+func matrixTraffic(prof string, quick bool, w io.Writer) (int, error) {
+	cfg := TrafficConfigFor(true) // matrix cells always use the quick shape
+	if !quick {
+		cfg.OpsPerWorker *= 4
+	}
+	leaked := 0
+	for _, nb := range TrafficBooters() {
+		pt, l, err := TrafficRunOn(prof, nb, cfg, 4)
+		leaked += l
+		if err != nil {
+			return leaked, err
+		}
+		fmt.Fprintf(w, "traffic %-6s 4 workers: %d ops %d faults  p50 %s p99 %s p999 %s  reclaim-interference %d\n",
+			nb.Name, pt.Ops, pt.Faults, pt.P50, pt.P99, pt.P999, pt.Interference)
+	}
 	return leaked, nil
 }
 

@@ -8,18 +8,24 @@ import (
 	"uvm/internal/param"
 	"uvm/internal/uvm"
 	"uvm/internal/vmapi"
+	"uvm/internal/vmapi/testutil"
 )
 
-func machines() map[string]vmapi.System {
+func machines(t *testing.T) map[string]vmapi.System {
+	t.Helper()
 	cfg := vmapi.MachineConfig{RAMPages: 512, SwapPages: 2048, FSPages: 512, MaxVnodes: 16}
-	return map[string]vmapi.System{
+	ms := map[string]vmapi.System{
 		"bsdvm": bsdvm.Boot(vmapi.NewMachine(cfg)),
 		"uvm":   uvm.Boot(vmapi.NewMachine(cfg)),
 	}
+	for _, sys := range ms {
+		testutil.SweepOnCleanup(t, sys)
+	}
+	return ms
 }
 
 func TestShmSharedBetweenProcesses(t *testing.T) {
-	for name, sys := range machines() {
+	for name, sys := range machines(t) {
 		name, sys := name, sys
 		t.Run(name, func(t *testing.T) {
 			r := NewRegistry(sys)
@@ -58,7 +64,7 @@ func TestShmSharedBetweenProcesses(t *testing.T) {
 }
 
 func TestShmgetSemantics(t *testing.T) {
-	for name, sys := range machines() {
+	for name, sys := range machines(t) {
 		name, sys := name, sys
 		t.Run(name, func(t *testing.T) {
 			r := NewRegistry(sys)
@@ -91,7 +97,7 @@ func TestShmgetSemantics(t *testing.T) {
 }
 
 func TestShmRmidLifetime(t *testing.T) {
-	for name, sys := range machines() {
+	for name, sys := range machines(t) {
 		name, sys := name, sys
 		t.Run(name, func(t *testing.T) {
 			r := NewRegistry(sys)
@@ -137,6 +143,7 @@ func TestShmSurvivesPaging(t *testing.T) {
 		name, boot := name, boot
 		t.Run(name, func(t *testing.T) {
 			sys := boot(vmapi.NewMachine(cfg))
+			testutil.SweepOnCleanup(t, sys)
 			r := NewRegistry(sys)
 			id, _ := r.Shmget(5, 16*param.PageSize, IPCCreat)
 			p, _ := sys.NewProcess("p")
@@ -164,7 +171,7 @@ func TestShmSurvivesPaging(t *testing.T) {
 }
 
 func TestShmDetachUnknownAddress(t *testing.T) {
-	for _, sys := range machines() {
+	for _, sys := range machines(t) {
 		r := NewRegistry(sys)
 		p, _ := sys.NewProcess("p")
 		if err := r.Shmdt(p, 0x4000_0000); !errors.Is(err, ErrNoEnt) {

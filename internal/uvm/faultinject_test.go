@@ -8,6 +8,7 @@ import (
 	"uvm/internal/param"
 	"uvm/internal/sim"
 	"uvm/internal/vmapi"
+	"uvm/internal/vmapi/testutil"
 )
 
 // Fault-injection regression suite: every async error path must leave
@@ -199,7 +200,7 @@ func TestSwapDeviceDeathMidPageout(t *testing.T) {
 	cfg.AsyncPageout = true
 	cfg.PageoutWindow = 2
 	s := BootConfig(m, cfg)
-	t.Cleanup(s.Shutdown)
+	testutil.SweepOnCleanup(t, s)
 	// Let a couple of swap commands through, then die. At most
 	// 2×MaxCluster pages escape before death, so a 512-page demand
 	// against 96 pages of RAM is guaranteed to strand the workload.

@@ -8,6 +8,7 @@ import (
 	"uvm/internal/param"
 	"uvm/internal/sim"
 	"uvm/internal/vmapi"
+	"uvm/internal/vmapi/testutil"
 )
 
 // --- vfork (§5.3 footnote) ---
@@ -172,6 +173,7 @@ func TestSystemWithHybridAmaps(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.AmapImpl = AmapHybrid
 	s := BootConfig(m, cfg)
+	testutil.SweepOnCleanup(t, s)
 	parent, _ := s.NewProcess("parent")
 	// A large sparse mapping: only 3 of 4096 pages ever touched.
 	va, _ := parent.Mmap(0, 4096*param.PageSize, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
@@ -206,6 +208,7 @@ func TestHybridAmapCheaperForSparse(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.AmapImpl = kind
 		s := BootConfig(m, cfg)
+		testutil.SweepOnCleanup(t, s)
 		p, _ := s.NewProcess("sparse")
 		va, _ := p.Mmap(0, 8192*param.PageSize, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
 		t0 := m.Clock.Now()
@@ -228,6 +231,7 @@ func TestAsyncPageinReducesColdFaultTime(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.AsyncPagein = async
 		s := BootConfig(m, cfg)
+		testutil.SweepOnCleanup(t, s)
 		m.FS.Create("/cold.bin", 64*param.PageSize, func(idx int, b []byte) { b[0] = byte(idx) })
 		vn, _ := m.FS.Open("/cold.bin")
 		defer vn.Unref()
@@ -255,6 +259,7 @@ func TestAsyncPageinDataCorrect(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.AsyncPagein = true
 	s := BootConfig(m, cfg)
+	testutil.SweepOnCleanup(t, s)
 	m.FS.Create("/verify.bin", 32*param.PageSize, func(idx int, b []byte) { b[0] = byte(0x80 + idx) })
 	vn, _ := m.FS.Open("/verify.bin")
 	defer vn.Unref()

@@ -7,6 +7,7 @@ import (
 	"uvm/internal/param"
 	"uvm/internal/sim"
 	"uvm/internal/vmapi"
+	"uvm/internal/vmapi/testutil"
 )
 
 // Additional coverage for UVM internals: map entry passing with file
@@ -139,6 +140,7 @@ func TestMaxClusterRespected(t *testing.T) {
 	cfg.MaxCluster = 8
 	cfg.ReclaimBatch = 8
 	s := BootConfig(m, cfg)
+	testutil.SweepOnCleanup(t, s)
 	p, _ := s.NewProcess("p")
 	const pages = 128
 	va, _ := p.Mmap(0, pages*param.PageSize, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)

@@ -9,6 +9,7 @@ import (
 	"uvm/internal/param"
 	"uvm/internal/sim"
 	"uvm/internal/vmapi"
+	"uvm/internal/vmapi/testutil"
 )
 
 // Tests for the object writeback pipeline (objwb.go): msync correctness
@@ -26,7 +27,7 @@ func bootWb(t *testing.T, ramPages int, tune func(*Config)) (*System, *vmapi.Mac
 		tune(&cfg)
 	}
 	s := BootConfig(m, cfg)
-	t.Cleanup(s.Shutdown)
+	testutil.SweepOnCleanup(t, s)
 	return s, m
 }
 
@@ -160,7 +161,7 @@ func TestMsyncDeterministicOrder(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.InlineReclaim = true
 		s := BootConfig(m, cfg)
-		defer s.Shutdown()
+		defer testutil.ShutdownSweep(t, s)
 		err := m.FS.Create("/det", 64*param.PageSize, nil)
 		if err != nil {
 			t.Fatal(err)
@@ -539,7 +540,7 @@ func TestAobjPageinClusterRoundTrip(t *testing.T) {
 		cfg.InlineReclaim = true
 		cfg.PageinCluster = cluster
 		s := BootConfig(m, cfg)
-		defer s.Shutdown()
+		defer testutil.ShutdownSweep(t, s)
 		p, err := s.NewProcess("p")
 		if err != nil {
 			t.Fatal(err)

@@ -9,6 +9,7 @@ import (
 	"uvm/internal/param"
 	"uvm/internal/sim"
 	"uvm/internal/vmapi"
+	"uvm/internal/vmapi/testutil"
 )
 
 // Tests for the asynchronous pagedaemon: wakeup of blocked allocators,
@@ -37,7 +38,7 @@ func waitersOf(s *System) int {
 // checks that every allocator is woken and completes.
 func TestBlockedAllocatorsWokenAfterReclaim(t *testing.T) {
 	s, m := bootTest(t, 64)
-	defer s.Shutdown()
+	defer testutil.ShutdownSweep(t, s)
 	release := gateDaemon(s)
 	defer release()
 
@@ -154,6 +155,7 @@ func TestInlineReclaimAblation(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.InlineReclaim = true
 	s := BootConfig(m, cfg)
+	testutil.SweepOnCleanup(t, s)
 	if s.pd != nil {
 		t.Fatal("InlineReclaim booted a pagedaemon")
 	}
@@ -193,7 +195,7 @@ func TestDaemonAndDirectReclaimConcurrently(t *testing.T) {
 	cfg.ReclaimBatch = 16
 	cfg.MaxCluster = 8
 	s := BootConfig(m, cfg)
-	defer s.Shutdown()
+	defer testutil.ShutdownSweep(t, s)
 
 	const workers, pages = 8, 64
 	var wg sync.WaitGroup
@@ -257,6 +259,7 @@ func TestLowWaterAutoSizing(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.LowWater = c.explicit
 		s := BootConfig(m, cfg)
+		testutil.SweepOnCleanup(t, s)
 		if s.pd.low != c.want {
 			t.Errorf("ram=%d explicit=%d: low=%d, want %d", c.ram, c.explicit, s.pd.low, c.want)
 		}

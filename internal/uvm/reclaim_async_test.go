@@ -8,6 +8,7 @@ import (
 	"uvm/internal/param"
 	"uvm/internal/sim"
 	"uvm/internal/vmapi"
+	"uvm/internal/vmapi/testutil"
 )
 
 // Tests for the reclaim I/O pipeline: asynchronous cluster pageout
@@ -24,7 +25,7 @@ func bootPipeline(t *testing.T, ramPages int, tune func(*Config)) (*System, *vma
 		tune(&cfg)
 	}
 	s := BootConfig(m, cfg)
-	t.Cleanup(s.Shutdown)
+	testutil.SweepOnCleanup(t, s)
 	return s, m
 }
 
@@ -89,6 +90,7 @@ func TestAsyncCompletionRacesShutdown(t *testing.T) {
 		cfg.AsyncPageout = true
 		cfg.PageoutWindow = 2
 		s := BootConfig(m, cfg)
+		testutil.SweepOnCleanup(t, s)
 
 		const workers, pages = 3, 96
 		var wg sync.WaitGroup
@@ -142,7 +144,7 @@ func TestReclaimWorkersRaceAllocators(t *testing.T) {
 	cfg.ReclaimWorkers = 4
 	cfg.PageoutWindow = 2
 	s := BootConfig(m, cfg)
-	t.Cleanup(s.Shutdown)
+	testutil.SweepOnCleanup(t, s)
 
 	// Regions stay mapped (no Munmap) so the combined demand — 4×320
 	// pages against 128 of RAM — keeps the daemon's workers reclaiming
@@ -223,7 +225,7 @@ func TestPageinClusterMatchesSingleSlotData(t *testing.T) {
 		cfg.InlineReclaim = true
 		cfg.PageinCluster = window
 		s := BootConfig(m, cfg)
-		t.Cleanup(s.Shutdown)
+		testutil.SweepOnCleanup(t, s)
 		p := newProc(t, s, "sweep")
 		const pages = 192
 		va, err := p.Mmap(0, pages*param.PageSize, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)

@@ -9,6 +9,7 @@ import (
 	"uvm/internal/sim"
 	"uvm/internal/vfs"
 	"uvm/internal/vmapi"
+	"uvm/internal/vmapi/testutil"
 )
 
 func testMachine(ramPages int) *vmapi.Machine {
@@ -24,7 +25,7 @@ func bootTest(t *testing.T, ramPages int) (*System, *vmapi.Machine) {
 	t.Helper()
 	m := testMachine(ramPages)
 	s := BootConfig(m, DefaultConfig())
-	t.Cleanup(s.Shutdown)
+	testutil.SweepOnCleanup(t, s)
 	return s, m
 }
 
@@ -475,6 +476,7 @@ func TestNoSwapLeakUnderForkChurn(t *testing.T) {
 	// reference counts free everything with no collapse machinery (§5.3).
 	m := testMachine(96)
 	s := BootConfig(m, DefaultConfig())
+	testutil.SweepOnCleanup(t, s)
 	p, _ := s.NewProcess("churn")
 	const pages = 24
 	va, _ := p.Mmap(0, pages*param.PageSize, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
@@ -566,6 +568,7 @@ func TestClusteringAblation(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.DisableClustering = disable
 		s := BootConfig(m, cfg)
+		testutil.SweepOnCleanup(t, s)
 		p, _ := s.NewProcess("pig")
 		const pages = 256
 		va, _ := p.Mmap(0, pages*param.PageSize, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
@@ -796,6 +799,7 @@ func TestVnodeRecycleTerminatesObject(t *testing.T) {
 		RAMPages: 512, SwapPages: 512, FSPages: 4096, MaxVnodes: 3,
 	})
 	s := BootConfig(m, DefaultConfig())
+	testutil.SweepOnCleanup(t, s)
 	p, _ := s.NewProcess("p")
 
 	use := func(name string) {

@@ -1,0 +1,35 @@
+// Package testutil holds the leak-sweep helpers every test that boots a
+// machine is expected to use: a booted system must be Shut down at the
+// end of the test, and after shutdown no physical page may still be
+// Busy — a Busy page at that point is a claim leaked by an error path.
+// Registering the sweep with test cleanup (SweepOnCleanup) gives new
+// tests the check for free.
+package testutil
+
+import (
+	"testing"
+
+	"uvm/internal/vmapi"
+)
+
+// ShutdownSweep shuts sys down and fails the test if any physical page
+// is still Busy afterwards, naming the leaked frames. Call it directly
+// at natural end-of-test points; prefer SweepOnCleanup when booting.
+func ShutdownSweep(t testing.TB, sys vmapi.System) {
+	t.Helper()
+	sys.Shutdown()
+	if busy := sys.Machine().Mem.BusyPages(); len(busy) != 0 {
+		t.Errorf("%s: %d pages still Busy after Shutdown (leaked claims): first frame %p",
+			sys.Name(), len(busy), busy[0])
+	}
+}
+
+// SweepOnCleanup registers ShutdownSweep to run when the test (or
+// subtest) finishes — the standard way to boot in tests:
+//
+//	sys := uvm.Boot(mach)
+//	testutil.SweepOnCleanup(t, sys)
+func SweepOnCleanup(t testing.TB, sys vmapi.System) {
+	t.Helper()
+	t.Cleanup(func() { ShutdownSweep(t, sys) })
+}

@@ -7,7 +7,17 @@ import (
 	"uvm/internal/param"
 	"uvm/internal/uvm"
 	"uvm/internal/vmapi"
+	"uvm/internal/vmapi/testutil"
 )
+
+// bootSwept boots a system on a fresh test machine and registers the
+// end-of-test Shutdown + Busy-page leak sweep.
+func bootSwept(t *testing.T, boot vmapi.Booter) vmapi.System {
+	t.Helper()
+	sys := boot(machine())
+	testutil.SweepOnCleanup(t, sys)
+	return sys
+}
 
 func machine() *vmapi.Machine {
 	return vmapi.NewMachine(vmapi.MachineConfig{
@@ -20,7 +30,7 @@ func machine() *vmapi.Machine {
 
 func TestExecCatLayout(t *testing.T) {
 	for _, boot := range []vmapi.Booter{bsdvm.Boot, uvm.Boot} {
-		sys := boot(machine())
+		sys := bootSwept(t, boot)
 		p, err := Exec(sys, CatImage())
 		if err != nil {
 			t.Fatalf("%s: %v", sys.Name(), err)
@@ -53,14 +63,14 @@ func TestTable1Mechanics(t *testing.T) {
 	}
 	for _, c := range cases {
 		img := c.img()
-		bsys := bsdvm.Boot(machine())
+		bsys := bootSwept(t, bsdvm.Boot)
 		base := bsys.TotalMapEntries()
 		if _, err := Exec(bsys, img); err != nil {
 			t.Fatal(err)
 		}
 		gotBSD := bsys.TotalMapEntries() - base
 
-		usys := uvm.Boot(machine())
+		usys := bootSwept(t, uvm.Boot)
 		base = usys.TotalMapEntries()
 		if _, err := Exec(usys, c.img()); err != nil {
 			t.Fatal(err)
@@ -78,7 +88,7 @@ func TestTable1Mechanics(t *testing.T) {
 
 func TestBootScenariosRun(t *testing.T) {
 	for _, boot := range []vmapi.Booter{bsdvm.Boot, uvm.Boot} {
-		sys := boot(machine())
+		sys := bootSwept(t, boot)
 		procs, err := MultiUserBoot(sys)
 		if err != nil {
 			t.Fatalf("%s: %v", sys.Name(), err)
@@ -99,11 +109,11 @@ func TestBootEntryOrdering(t *testing.T) {
 		SingleUserBoot, MultiUserBoot, StartX11,
 	}
 	for i, scen := range scenarios {
-		bsys := bsdvm.Boot(machine())
+		bsys := bootSwept(t, bsdvm.Boot)
 		if _, err := scen(bsys); err != nil {
 			t.Fatal(err)
 		}
-		usys := uvm.Boot(machine())
+		usys := bootSwept(t, uvm.Boot)
 		if _, err := scen(usys); err != nil {
 			t.Fatal(err)
 		}
@@ -118,12 +128,12 @@ func TestCommandFaultCounts(t *testing.T) {
 	// Table 2's headline: BSD VM faults once per page; UVM's lookahead
 	// collapses the warm-file faults roughly 5x.
 	cmd := Command{Name: "ls-test", WarmPages: 33, ColdPages: 26}
-	bsys := bsdvm.Boot(machine())
+	bsys := bootSwept(t, bsdvm.Boot)
 	bf, err := cmd.Run(bsys)
 	if err != nil {
 		t.Fatal(err)
 	}
-	usys := uvm.Boot(machine())
+	usys := bootSwept(t, uvm.Boot)
 	uf, err := cmd.Run(usys)
 	if err != nil {
 		t.Fatal(err)
@@ -137,7 +147,7 @@ func TestCommandFaultCounts(t *testing.T) {
 }
 
 func TestFileServer(t *testing.T) {
-	sys := uvm.Boot(machine())
+	sys := bootSwept(t, uvm.Boot)
 	srv, err := NewFileServer(sys, 10, 4)
 	if err != nil {
 		t.Fatal(err)
