@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPaperReportsByteIdenticalWithCachesOff is the regression fence for
+// the per-CPU free-page caches: with AllocCaches=0 (the default every
+// paper experiment runs with) the allocator must take the exact
+// single-pool code path, so the paper reports stay byte-identical to the
+// goldens captured before the magazine code landed. A diff here means
+// the caches leaked into the deterministic path — an ordering change in
+// Alloc/Free, a stray counter in the shared path, anything — and the
+// paper numbers can no longer be compared across revisions.
+//
+// The goldens are the quick-variant reports (the same variants CI runs);
+// regenerate them ONLY for an intentional, explained change to the
+// experiments themselves, never to absorb allocator drift.
+func TestPaperReportsByteIdenticalWithCachesOff(t *testing.T) {
+	for _, id := range []string{"table1", "table3", "fig5"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", id+".quick.golden"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, ok := Lookup(id, true)
+			if !ok {
+				t.Fatalf("experiment %q not registered", id)
+			}
+			var sb strings.Builder
+			if err := r.Run(&sb); err != nil {
+				t.Fatal(err)
+			}
+			if sb.String() != string(want) {
+				t.Errorf("report drifted from the pre-caches golden:\n--- golden:\n%s\n--- got:\n%s",
+					want, sb.String())
+			}
+		})
+	}
+}

@@ -1,0 +1,187 @@
+package phys
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"uvm/internal/sim"
+)
+
+// Gate-orchestrated tests for the refill/use window in AllocCPU: after a
+// magazine is refilled the magazine lock is dropped before the retry
+// that pops a frame, so a concurrent ReapCaches (or a sibling's raid)
+// can take the refilled frames back in between. The allocation must
+// absorb that interference and retry, never hand out a reaped frame, and
+// never spin forever once the interference stops. The SetAllocGate hook
+// makes the interleaving deterministic instead of hoping a stress loop
+// lands in a window that is nanoseconds wide.
+
+// TestAllocGateReapBetweenRefillAndUse forces the worst case on a single
+// goroutine: every refill is immediately undone by a full magazine reap,
+// three times in a row, before the allocator is allowed to keep its
+// frames. The retry loop must re-refill each time and succeed on the
+// fourth attempt with the allocator none the wiser.
+func TestAllocGateReapBetweenRefillAndUse(t *testing.T) {
+	const (
+		npages = 64
+		batch  = 4
+		reaps  = 3
+	)
+	m := NewMem(sim.NewClock(), sim.DefaultCosts(), sim.NewStats(), npages)
+	m.SetAllocCaches(2, batch)
+	var gateRuns atomic.Int32
+	m.SetAllocGate(func() {
+		if gateRuns.Add(1) <= reaps {
+			if n := m.ReapCaches(); n == 0 {
+				t.Errorf("gate run %d: nothing to reap — the gate did not fire between refill and use", gateRuns.Load())
+			}
+		}
+	})
+
+	pg, err := m.AllocCPU(0, nil, 0, false)
+	if err != nil {
+		t.Fatalf("AllocCPU with reap interference: %v", err)
+	}
+	m.SetAllocGate(nil)
+
+	// The gate fires once per refilled-but-empty retry: reaps forced
+	// retries plus the final successful pass.
+	if got := gateRuns.Load(); got != reaps+1 {
+		t.Errorf("gate ran %d times, want %d (one per refill)", got, reaps+1)
+	}
+	st := m.stats
+	if got := st.Get(sim.CtrAllocReaps); got != reaps {
+		t.Errorf("phys.alloc.reaps = %d, want %d", got, reaps)
+	}
+	if got := st.Get(sim.CtrAllocRefills); got != reaps+1 {
+		t.Errorf("phys.alloc.refills = %d, want %d", got, reaps+1)
+	}
+	if got := st.Get(sim.CtrAllocHits); got != 1 {
+		t.Errorf("phys.alloc.hits = %d, want 1", got)
+	}
+	// The interference must not have corrupted the free accounting: one
+	// frame live, everything else in exactly one free structure.
+	if err := checkAllocInvariants(m, map[*Page]bool{pg: true}); err != nil {
+		t.Fatal(err)
+	}
+	m.FreeCPU(0, pg)
+	if err := checkAllocInvariants(m, map[*Page]bool{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllocGateExhaustionStaysNoMemory pins down the failure contract
+// under interference: when the machine is truly out of frames, reap
+// pressure in the refill window must surface as ErrNoMemory, not a hang
+// or a phantom frame.
+func TestAllocGateExhaustionStaysNoMemory(t *testing.T) {
+	const npages = 16
+	m := NewMem(sim.NewClock(), sim.DefaultCosts(), sim.NewStats(), npages)
+	m.SetAllocCaches(2, 4)
+	live := make([]*Page, 0, npages)
+	for {
+		pg, err := m.AllocCPU(0, nil, 0, false)
+		if err != nil {
+			if !errors.Is(err, ErrNoMemory) {
+				t.Fatalf("exhaustion returned %v, want ErrNoMemory", err)
+			}
+			break
+		}
+		live = append(live, pg)
+	}
+	if len(live) != npages {
+		t.Fatalf("allocated %d frames before exhaustion, want %d", len(live), npages)
+	}
+	if _, err := m.AllocCPU(1, nil, 0, false); !errors.Is(err, ErrNoMemory) {
+		t.Fatalf("second slot got %v, want ErrNoMemory", err)
+	}
+	for _, pg := range live {
+		m.FreeCPU(0, pg)
+	}
+	if err := checkAllocInvariants(m, map[*Page]bool{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllocGateConcurrentReapRace runs 4 allocating workers whose every
+// refill window yields to the scheduler while a dedicated reaper
+// continuously flushes the magazines — maximum pressure on the
+// refill/use race, under -race in CI. Workers must always either get a
+// frame or a truthful ErrNoMemory, and the free set must be intact at
+// quiescence.
+func TestAllocGateConcurrentReapRace(t *testing.T) {
+	const (
+		workers = 4
+		npages  = 48
+		ops     = 500
+	)
+	m := NewMem(sim.NewClock(), sim.DefaultCosts(), sim.NewStats(), npages)
+	m.SetAllocCaches(workers, 4)
+	// Yield in every 8th refill window: enough scheduling points for the
+	// reaper to land inside the window, without grinding the run to a
+	// crawl under the race detector on small hosts.
+	var gateN atomic.Int32
+	m.SetAllocGate(func() {
+		if gateN.Add(1)%8 == 0 {
+			runtime.Gosched()
+		}
+	})
+
+	stop := make(chan struct{})
+	var reaps sync.WaitGroup
+	reaps.Add(1)
+	go func() {
+		defer reaps.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				m.ReapCaches()
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := sim.NewRNG(0x6a7e + uint64(id)*7919)
+			var mine []*Page
+			for i := 0; i < ops; i++ {
+				if rng.Intn(2) == 0 && len(mine) > 0 {
+					j := rng.Intn(len(mine))
+					pg := mine[j]
+					mine[j] = mine[len(mine)-1]
+					mine = mine[:len(mine)-1]
+					m.FreeCPU(id, pg)
+					continue
+				}
+				pg, err := m.AllocCPU(id, nil, 0, false)
+				if err != nil {
+					continue
+				}
+				mine = append(mine, pg)
+			}
+			for _, pg := range mine {
+				m.FreeCPU(id, pg)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	reaps.Wait()
+	m.SetAllocGate(nil)
+
+	if err := checkAllocInvariants(m, map[*Page]bool{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.FreePages(); got != npages {
+		t.Fatalf("FreePages=%d at quiescence, want %d", got, npages)
+	}
+}

@@ -17,11 +17,23 @@
 // identical to a single global queue, which keeps single-threaded
 // simulations deterministic and bit-for-bit comparable across runs.
 //
-// The free-page count is a lock-free atomic maintained by Alloc and
-// Free, so watermark checks never touch the shard locks. SetLowWater
-// registers a wakeup callback fired from Alloc whenever the count drops
-// below the low-water mark; this is how the asynchronous pagedaemon is
-// woken ahead of actual exhaustion.
+// Allocation has two layouts. With the per-CPU free-page caches off
+// (the default, and the byte-deterministic configuration the paper
+// experiments run with) Alloc and Free work directly on the sharded
+// free lists — the single global pool. With SetAllocCaches, allocating
+// goroutines are spread across private magazines of free frames that
+// refill from and drain to that pool in batches (see alloccache.go), so
+// the pool stops being a machine-wide serialisation point; the pool is
+// still where every frame ultimately lives and the only layer reclaim
+// has to understand.
+//
+// Either way, the free-page count is a lock-free atomic maintained by
+// the allocation paths; it counts every free frame — pooled or parked
+// in a magazine — so watermark checks never touch the shard locks and
+// never miss cached frames. SetLowWater registers a wakeup callback
+// fired from allocation whenever the count drops below the low-water
+// mark; this is how the asynchronous pagedaemon is woken ahead of
+// actual exhaustion.
 //
 // Page state bits (Dirty, Referenced, Busy, WireCount, LoanCount) are
 // atomics: they are read lock-free by queue scans while being written
@@ -140,6 +152,7 @@ func (p *Page) Loaned() bool { return p.LoanCount.Load() > 0 }
 // Queue returns the queue the page is currently on.
 func (p *Page) Queue() QueueKind { return p.queue }
 
+// String renders the page's identity and state for debug output.
 func (p *Page) String() string {
 	return fmt.Sprintf("page(pa=%#x owner=%T off=%#x q=%d wire=%d loan=%d dirty=%v)",
 		p.PA, p.Owner(), p.Off(), p.queue, p.WireCount.Load(), p.LoanCount.Load(), p.Dirty.Load())
@@ -208,9 +221,26 @@ type Mem struct {
 	seqCtr      atomic.Uint64 // global LRU stamp source
 	allocCursor atomic.Uint64 // round-robin shard hint for Alloc
 
-	freeCnt  atomic.Int64 // lock-free free-list size (watermark reads)
+	freeCnt  atomic.Int64 // lock-free count of free frames, pooled or cached
 	lowWater atomic.Int64 // free-page threshold that fires lowWake
 	lowWake  atomic.Value // func(): pagedaemon doorbell, must not block
+
+	// Per-CPU free-page caches (alloccache.go). Empty caches = disabled:
+	// allocation runs on the global pool exactly as before the magazines
+	// existed. allocGate is the refill-to-use test hook.
+	caches     []*allocCache
+	allocBatch int
+	allocGate  func()
+
+	// Cached stat handles for the allocation path (phys.alloc.*): hot
+	// enough that the name lookup per bump would show up.
+	ctrAllocAcquires  sim.Counter
+	ctrAllocContended sim.Counter
+	ctrAllocHits      sim.Counter
+	ctrAllocRefills   sim.Counter
+	ctrAllocDrains    sim.Counter
+	ctrAllocSteals    sim.Counter
+	ctrAllocReaps     sim.Counter
 }
 
 // NewMem boots a machine with npages page frames. All frame data buffers
@@ -220,6 +250,13 @@ func NewMem(clock *sim.Clock, costs *sim.Costs, stats *sim.Stats, npages int) *M
 		panic("phys: non-positive memory size")
 	}
 	m := &Mem{clock: clock, costs: costs, stats: stats, total: npages}
+	m.ctrAllocAcquires = stats.Counter(sim.CtrAllocAcquires)
+	m.ctrAllocContended = stats.Counter(sim.CtrAllocContended)
+	m.ctrAllocHits = stats.Counter(sim.CtrAllocHits)
+	m.ctrAllocRefills = stats.Counter(sim.CtrAllocRefills)
+	m.ctrAllocDrains = stats.Counter(sim.CtrAllocDrains)
+	m.ctrAllocSteals = stats.Counter(sim.CtrAllocSteals)
+	m.ctrAllocReaps = stats.Counter(sim.CtrAllocReaps)
 	arena := make([]byte, npages*param.PageSize)
 	m.frames = make([]Page, npages)
 	for i := range m.frames {
@@ -251,7 +288,8 @@ func (m *Mem) shardOf(p *Page) *memShard { return &m.shards[p.home] }
 // TotalPages returns the amount of physical memory in pages.
 func (m *Mem) TotalPages() int { return m.total }
 
-// FreePages returns the current size of the free list. It reads the
+// FreePages returns the current number of free frames, wherever they
+// sit — the global pool plus every per-CPU magazine. It reads the
 // lock-free counter, so watermark polls never contend with allocators.
 func (m *Mem) FreePages() int { return int(m.freeCnt.Load()) }
 
@@ -267,6 +305,7 @@ func (m *Mem) ActivePages() int {
 	return n
 }
 
+// InactivePages counts the pages currently on the inactive queues.
 func (m *Mem) InactivePages() int {
 	n := 0
 	for i := range m.shards {
@@ -294,17 +333,25 @@ func (m *Mem) BusyPages() []*Page {
 	return busy
 }
 
-// Alloc takes a frame off a free list. If zero is set the frame is
-// zero-filled (and the zeroing cost charged); otherwise its previous
-// contents are undefined, exactly like a real free-list page. Allocation
-// rotates across shards so concurrent allocators rarely contend; a shard
-// whose free list is empty falls through to the next.
+// Alloc takes a free frame. If zero is set the frame is zero-filled
+// (and the zeroing cost charged); otherwise its previous contents are
+// undefined, exactly like a real free-list page.
+//
+// With the per-CPU caches enabled the frame comes from the calling
+// goroutine's magazine (AllocCPU with a goroutine-affine slot) and the
+// global pool is only touched on a refill. Without them the pool is the
+// allocator: allocation rotates across the queue shards so concurrent
+// allocators rarely meet on one lock, and a shard whose free list is
+// empty falls through to the next.
 func (m *Mem) Alloc(owner any, off param.PageOff, zero bool) (*Page, error) {
+	if len(m.caches) > 0 {
+		return m.AllocCPU(cpuSlot(len(m.caches)), owner, off, zero)
+	}
 	start := int(m.allocCursor.Add(1) - 1)
 	var p *Page
 	for i := 0; i < numShards; i++ {
 		sh := &m.shards[(start+i)%numShards]
-		sh.mu.Lock()
+		m.lockShardAlloc(sh)
 		p = sh.free.popHead()
 		if p != nil {
 			p.queue = QueueNone
@@ -316,27 +363,32 @@ func (m *Mem) Alloc(owner any, off param.PageOff, zero bool) (*Page, error) {
 	if p == nil {
 		return nil, ErrNoMemory
 	}
-	if free := m.freeCnt.Add(-1); free < m.lowWater.Load() {
-		if wake, ok := m.lowWake.Load().(func()); ok {
-			wake()
-		}
-	}
-	m.clock.Advance(m.costs.PageAlloc)
-	p.SetOwner(owner, off)
-	p.Dirty.Store(false)
-	p.Referenced.Store(false)
-	p.Busy.Store(false)
-	p.WireCount.Store(0)
-	p.LoanCount.Store(0)
-	if zero {
-		m.Zero(p)
-	}
+	m.finishAlloc(p, owner, off, zero)
 	return p, nil
 }
 
-// Free returns a frame to its home free list. The caller must have
-// removed all mappings; queue membership is cleared here.
+// Free returns a frame to the free set: its home free list, or — with
+// the per-CPU caches on — the freeing goroutine's magazine, which drains
+// to the pool in batches. The caller must have removed all mappings;
+// queue membership is cleared here either way.
 func (m *Mem) Free(p *Page) {
+	if n := len(m.caches); n > 0 {
+		m.FreeCPU(cpuSlot(n), p)
+		return
+	}
+	m.freePrep(p)
+	sh := m.shardOf(p)
+	sh.mu.Lock()
+	sh.detachLocked(p)
+	p.queue = QueueFree
+	sh.free.pushTail(p)
+	sh.mu.Unlock()
+	m.freeCnt.Add(1)
+}
+
+// freePrep is the part of freeing shared by every layout: the
+// wired/loaned panics, the cost, and clearing identity and dirt.
+func (m *Mem) freePrep(p *Page) {
 	if p.WireCount.Load() > 0 {
 		panic("phys: freeing wired page " + p.String())
 	}
@@ -346,13 +398,6 @@ func (m *Mem) Free(p *Page) {
 	m.clock.Advance(m.costs.PageFree)
 	p.SetOwner(nil, 0)
 	p.Dirty.Store(false)
-	sh := m.shardOf(p)
-	sh.mu.Lock()
-	sh.detachLocked(p)
-	p.queue = QueueFree
-	sh.free.pushTail(p)
-	sh.mu.Unlock()
-	m.freeCnt.Add(1)
 }
 
 // Zero clears a frame's data, charging the zeroing cost.
@@ -565,7 +610,9 @@ func (m *Mem) RefillInactive(n int) int {
 	return moved
 }
 
-// FreeListLen counts the free lists directly (debug helper).
+// FreeListLen counts the global pool's free lists directly (debug
+// helper). Frames parked in per-CPU magazines are not included; see
+// CachedFreePages for those.
 func (m *Mem) FreeListLen() int {
 	n := 0
 	for i := range m.shards {

@@ -202,4 +202,17 @@ const (
 	// faults that dragged slot-adjacent neighbour pages in with one I/O.
 	CtrAobjPageinClusters  = "uvm.aobj.pagein.clusters"  // clustered aobj pagein I/Os
 	CtrAobjPageinClustered = "uvm.aobj.pagein.clustered" // extra aobj pages per cluster ride
+
+	// Page-allocator counters (internal/phys/alloccache.go). The
+	// contended/acquires ratio is the fault path's allocation-lock
+	// contention — on the global pool's queue shards in single-pool mode,
+	// on the per-CPU magazines when free-page caches are enabled;
+	// experiments.Scaling reports it at each goroutine count.
+	CtrAllocAcquires  = "phys.alloc.acquires"  // alloc-path lock acquisitions (shard or magazine)
+	CtrAllocContended = "phys.alloc.contended" // acquisitions that found the lock held
+	CtrAllocHits      = "phys.alloc.hits"      // allocations served from a warm magazine
+	CtrAllocRefills   = "phys.alloc.refills"   // magazine refills from the global pool
+	CtrAllocDrains    = "phys.alloc.drains"    // over-full magazine drains to the global pool
+	CtrAllocSteals    = "phys.alloc.steals"    // refills that raided sibling magazines (pool dry)
+	CtrAllocReaps     = "phys.alloc.reaps"     // whole-magazine reaps back to the pool (reclaim)
 )

@@ -142,6 +142,15 @@ func (pd *pagedaemon) run() {
 			target = pd.s.cfg.ReclaimBatch
 		}
 		freed, submitted := pd.s.reclaimRound(target)
+		if freed == 0 && submitted == 0 {
+			// The queues gave nothing and no I/O is on the wire from this
+			// round. Before declaring a stall, reap any frames parked in
+			// idle per-CPU allocation magazines back into the global pool:
+			// they already counted as free, but waiters' retries (and the
+			// watermark's notion of reachable memory) need them in the
+			// pool, not private to goroutines that stopped allocating.
+			freed = pd.s.mach.Mem.ReapCaches()
+		}
 		pd.s.mach.Stats.Inc(sim.CtrPdRounds)
 
 		pd.mu.Lock()
@@ -367,6 +376,14 @@ func (s *System) reclaim(target int) error {
 
 func (s *System) reclaimCount(target int) int {
 	freed, _ := s.reclaimRange(0, phys.NumQueueShards(), target, false)
+	if freed == 0 {
+		// A fruitless scan is not a stall while free frames sit parked in
+		// per-CPU allocation magazines: reap them into the global pool so
+		// the caller's retry can reach them from any goroutine. (The
+		// frames were already counted free — the watermark never lied —
+		// they were just private to idle magazines.)
+		freed = s.mach.Mem.ReapCaches()
+	}
 	return freed
 }
 

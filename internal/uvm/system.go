@@ -56,6 +56,17 @@
 // so reclaim's TryLock-and-skip protocol keeps those pages live until
 // they are mapped.
 //
+// The phys leaf likewise has internal structure when the per-CPU
+// free-page caches are enabled (phys.Mem.SetAllocCaches): a magazine
+// lock sits above the page-queue shard locks — refill, drain and reap
+// take shard locks while holding one magazine — and sibling magazines
+// are only ever TryLocked (the pool-dry steal path), so magazines can
+// never form a blocking cycle among themselves. Nothing in phys
+// acquires VM-layer locks, so the phys-internal ordering is invisible
+// to the map -> object -> amap -> anon hierarchy above; completion
+// callbacks and reclaim may free or allocate pages (touching magazines
+// and shards) under the same rules as before.
+//
 // # Pageout
 //
 // Reclaim runs in a dedicated pagedaemon goroutine (see pdaemon.go),

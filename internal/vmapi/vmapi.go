@@ -75,6 +75,18 @@ type MachineConfig struct {
 	// can still override it at boot.
 	SwapAIOWindow int
 
+	// AllocCaches enables the per-CPU free-page caches in phys: that
+	// many magazines of free frames, refilled from and drained to the
+	// global pool in batches, so concurrent faulting goroutines stop
+	// serialising on the pool (phys/alloccache.go). 0 — the default —
+	// keeps the exact single-pool allocation layout, whose operation
+	// order is byte-deterministic on single-threaded runs; the paper
+	// experiments depend on that.
+	AllocCaches int
+	// AllocBatch is the magazine refill/drain transfer size, in pages.
+	// 0 selects the phys default. Only meaningful with AllocCaches > 0.
+	AllocBatch int
+
 	// Profile names the machine's cost profile (sim.Profiles). Empty
 	// means sim.DefaultProfile — the paper's 1997 testbed — and is
 	// byte-identical to the pre-profile behaviour.
@@ -105,6 +117,15 @@ func (cfg MachineConfig) Validate() error {
 	}
 	if cfg.SwapAIOWindow < 0 {
 		return fmt.Errorf("vmapi: MachineConfig.SwapAIOWindow must not be negative (got %d)", cfg.SwapAIOWindow)
+	}
+	if cfg.AllocCaches < 0 {
+		return fmt.Errorf("vmapi: MachineConfig.AllocCaches must not be negative (got %d)", cfg.AllocCaches)
+	}
+	if cfg.AllocBatch < 0 {
+		return fmt.Errorf("vmapi: MachineConfig.AllocBatch must not be negative (got %d)", cfg.AllocBatch)
+	}
+	if cfg.AllocBatch > 0 && cfg.AllocCaches == 0 {
+		return fmt.Errorf("vmapi: MachineConfig.AllocBatch set (%d) without AllocCaches", cfg.AllocBatch)
 	}
 	if _, err := sim.CostsForProfile(cfg.Profile); err != nil {
 		return fmt.Errorf("vmapi: MachineConfig.Profile: %w", err)
@@ -189,11 +210,15 @@ func NewMachine(cfg MachineConfig) *Machine {
 	if cfg.SwapAIOWindow > 0 {
 		sw.SetAIOWindow(cfg.SwapAIOWindow)
 	}
+	mem := phys.NewMem(clock, costs, stats, cfg.RAMPages)
+	if cfg.AllocCaches > 0 {
+		mem.SetAllocCaches(cfg.AllocCaches, cfg.AllocBatch)
+	}
 	return &Machine{
 		Clock:    clock,
 		Costs:    costs,
 		Stats:    stats,
-		Mem:      phys.NewMem(clock, costs, stats, cfg.RAMPages),
+		Mem:      mem,
 		MMU:      pmap.NewMMU(clock, costs, stats),
 		Swap:     sw,
 		FS:       vfs.NewFS(clock, costs, stats, fsDisk, cfg.MaxVnodes),
