@@ -1,0 +1,120 @@
+package control
+
+import (
+	"sync"
+	"time"
+
+	"uvm/internal/sim"
+)
+
+// Control-plane counters. Published through the machine's sim.Stats so
+// experiments and tests can watch the controllers work; none of them
+// appear in paper reports, so enabling the counters alone never perturbs
+// golden output.
+const (
+	// CtrSteps counts controller steps taken across the plane.
+	CtrSteps = "control.steps"
+	// CtrGrow / CtrShrink / CtrHold count decisions by kind; per-controller
+	// splits are published as "control.<name>.<decision>".
+	CtrGrow   = "control.grow"
+	CtrShrink = "control.shrink"
+	CtrHold   = "control.hold"
+)
+
+// Entry binds one controller into a Plane: Sample reads this epoch's
+// observation from the system's counters and Apply pushes the (possibly
+// moved) setting back into the knob it steers.
+type Entry struct {
+	Controller Controller
+	// Sample returns the epoch's observation. Called with the plane lock
+	// held; it must only read counters/atomics, never take owner locks.
+	Sample func() Sample
+	// Apply installs the controller's current value after a Grow or
+	// Shrink. Called with the plane lock held; it must only store atomics
+	// or call leaf-level setters (Swap.SetAIOWindow, FS.SetWriteWindow,
+	// pagedaemon watermark stores) — never take owner locks.
+	Apply func(v int)
+}
+
+// Plane drives a set of controllers on a fixed epoch of simulated time.
+// Tick is designed to be called from hot completion paths: it is
+// try-locked and epoch-gated, so all but one caller per epoch fall
+// through at the cost of an atomic load and a failed TryLock.
+type Plane struct {
+	// Now reads the simulated clock. The plane never consults wall time.
+	Now func() time.Duration
+	// Epoch is the minimum simulated time between controller steps.
+	Epoch time.Duration
+
+	mu      sync.Mutex
+	entries []Entry
+	last    time.Duration
+	armed   bool
+
+	stats *sim.Stats
+}
+
+// NewPlane builds a plane stepping its controllers at most once per
+// epoch of simulated time, publishing counters into stats (which may be
+// nil for tests that only script decisions).
+func NewPlane(now func() time.Duration, epoch time.Duration, stats *sim.Stats) *Plane {
+	if epoch <= 0 {
+		epoch = time.Millisecond
+	}
+	return &Plane{Now: now, Epoch: epoch, stats: stats}
+}
+
+// Register adds an entry to the plane. Not safe concurrently with Tick;
+// register everything before the system starts ticking.
+func (p *Plane) Register(e Entry) {
+	p.entries = append(p.entries, e)
+}
+
+// Tick steps every controller if at least one epoch of simulated time
+// has passed since the last step. Cheap when it isn't time yet; safe
+// from any goroutine; callers must not hold owner locks (Sample/Apply
+// are counter- and atomic-only by contract, so the plane introduces no
+// lock-order edges).
+func (p *Plane) Tick() {
+	if !p.mu.TryLock() {
+		return // someone else is stepping this epoch
+	}
+	defer p.mu.Unlock()
+	now := p.Now()
+	if p.armed && now-p.last < p.Epoch {
+		return
+	}
+	if !p.armed {
+		// First tick only arms the epoch clock; samplers need a full
+		// epoch's worth of counter deltas before the first real step.
+		p.armed = true
+		p.last = now
+		return
+	}
+	p.last = now
+	for i := range p.entries {
+		e := &p.entries[i]
+		d := e.Controller.Step(e.Sample())
+		if d != Hold && e.Apply != nil {
+			e.Apply(e.Controller.Value())
+		}
+		p.count(e.Controller.Name(), d)
+	}
+}
+
+// count publishes the step outcome.
+func (p *Plane) count(name string, d Decision) {
+	if p.stats == nil {
+		return
+	}
+	p.stats.Inc(CtrSteps)
+	switch d {
+	case Grow:
+		p.stats.Inc(CtrGrow)
+	case Shrink:
+		p.stats.Inc(CtrShrink)
+	default:
+		p.stats.Inc(CtrHold)
+	}
+	p.stats.Inc("control." + name + "." + d.String())
+}

@@ -1,0 +1,138 @@
+package control
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property test: across arbitrary observation streams, the standard
+// controller set only ever emits settings the mechanisms accept —
+// windows at least 1, low below high watermark, cluster widths within
+// the phys limits — as judged by Tuning.Validate. Each controller is
+// also checked against an independent reference model of its movement
+// rule (bounded AIMD / bounded banded walk), so a controller that stays
+// in bounds but moves wrongly still fails.
+
+// refModel independently tracks where a knob must be, given only the
+// decisions the controller reported. It re-implements the movement
+// arithmetic (add inc, halve, clamp) without sharing any code with knob.
+type refModel struct {
+	min, max, inc, value int
+}
+
+// apply moves the model by the reported decision and reports whether
+// the decision was even legal from the previous state.
+func (m *refModel) apply(t *testing.T, name string, d Decision) {
+	t.Helper()
+	switch d {
+	case Grow:
+		next := m.value + m.inc
+		if next > m.max {
+			next = m.max
+		}
+		if next == m.value {
+			t.Fatalf("%s reported Grow while pinned at %d", name, m.value)
+		}
+		m.value = next
+	case Shrink:
+		next := m.value / 2
+		if next < m.min {
+			next = m.min
+		}
+		if next == m.value {
+			t.Fatalf("%s reported Shrink while pinned at %d", name, m.value)
+		}
+		m.value = next
+	}
+}
+
+// check compares the controller's value to the model's.
+func (m *refModel) check(t *testing.T, c Controller) {
+	t.Helper()
+	if c.Value() != m.value {
+		t.Fatalf("%s value = %d, reference model says %d", c.Name(), c.Value(), m.value)
+	}
+}
+
+func TestStandardSetAlwaysValidatesUnderRandomStreams(t *testing.T) {
+	const ramPages = 512
+	start := Tuning{
+		PageoutWindow:   4,
+		WritebackWindow: 4,
+		PageinCluster:   8,
+		LookaheadBoost:  0,
+		LowWater:        16,
+		HighWater:       32,
+	}
+
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		set, err := NewStandardSet(start, ramPages)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		wmInc := start.LowWater / 2
+		models := map[Controller]*refModel{
+			set.Pageout:   {min: MinWindow, max: MaxWindow, inc: 1, value: start.PageoutWindow},
+			set.Writeback: {min: MinWindow, max: MaxWindow, inc: 1, value: start.WritebackWindow},
+			set.Pagein:    {min: 1, max: MaxPageinCluster, inc: 2, value: start.PageinCluster},
+			set.Lookahead: {min: 1, max: MaxLookaheadBoost + 1, inc: 1, value: start.LookaheadBoost + 1},
+			set.Watermark: {min: start.LowWater, max: ramPages / 8, inc: wmInc, value: start.LowWater},
+		}
+		controllers := []Controller{set.Pageout, set.Writeback, set.Pagein, set.Lookahead, set.Watermark}
+
+		for step := 0; step < 2000; step++ {
+			c := controllers[rng.Intn(len(controllers))]
+			// Adversarial observation: wild metric scales, occasional
+			// negatives and zero-weight epochs.
+			s := Sample{
+				Metric: (rng.Float64() - 0.1) * float64(int(1)<<uint(rng.Intn(20))),
+				Weight: float64(rng.Intn(3)),
+			}
+			prev := c.Value()
+			d := c.Step(s)
+			if s.Weight <= 0 && (d != Hold || c.Value() != prev) {
+				t.Fatalf("seed %d step %d: %s moved on a zero-weight epoch", seed, step, c.Name())
+			}
+			models[c].apply(t, c.Name(), d)
+			models[c].check(t, c)
+
+			if err := set.Tuning().Validate(ramPages); err != nil {
+				t.Fatalf("seed %d step %d: emitted tuning does not validate: %v", seed, step, err)
+			}
+		}
+	}
+}
+
+// NewStandardSet must refuse starting points the bounds can't keep safe:
+// invalid vectors, and low watermarks whose derived 2× high mark could
+// exceed ram/2.
+func TestNewStandardSetRejectsBadStarts(t *testing.T) {
+	ok := Tuning{PageoutWindow: 4, WritebackWindow: 4, PageinCluster: 8, LowWater: 16, HighWater: 32}
+	if _, err := NewStandardSet(ok, 512); err != nil {
+		t.Fatalf("valid start rejected: %v", err)
+	}
+
+	bad := ok
+	bad.PageoutWindow = 0
+	if _, err := NewStandardSet(bad, 512); err == nil {
+		t.Fatal("PageoutWindow 0 accepted")
+	}
+
+	bad = ok
+	bad.HighWater = bad.LowWater
+	if _, err := NewStandardSet(bad, 512); err == nil {
+		t.Fatal("HighWater == LowWater accepted")
+	}
+
+	// low = 300 validates on its own for ram 1024 (high 301 <= 512), but
+	// it is above the watermark knob's operational ceiling of ram/8; the
+	// constructor must reject it up front rather than build a knob whose
+	// start exceeds its own maximum.
+	bad = ok
+	bad.LowWater, bad.HighWater = 300, 301
+	if _, err := NewStandardSet(bad, 1024); err == nil {
+		t.Fatal("LowWater above ram/8 accepted")
+	}
+}

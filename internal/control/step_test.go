@@ -1,0 +1,271 @@
+package control
+
+import (
+	"testing"
+	"time"
+
+	"uvm/internal/sim"
+)
+
+// Step-response harness: feed each controller a scripted observation
+// trace and assert the exact decision sequence. The framework is pure
+// state-machine arithmetic, so these are byte-exact, not statistical.
+
+// steps runs a trace through c and returns the decision sequence.
+func steps(c Controller, trace []Sample) []Decision {
+	out := make([]Decision, len(trace))
+	for i, s := range trace {
+		out[i] = c.Step(s)
+	}
+	return out
+}
+
+// flat builds n identical observations.
+func flat(metric float64, n int) []Sample {
+	out := make([]Sample, n)
+	for i := range out {
+		out[i] = Sample{Metric: metric, Weight: 1}
+	}
+	return out
+}
+
+func wantSeq(t *testing.T, got, want []Decision) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("decision count = %d, want %d (%v vs %v)", len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("decision[%d] = %v, want %v (full: %v vs %v)", i, got[i], want[i], got, want)
+		}
+	}
+}
+
+// An AIMD window controller on a flat latency trace must anchor, climb
+// to its ceiling, and then hold forever — convergence with no
+// oscillation.
+func TestAIMDFlatTraceConverges(t *testing.T) {
+	c := NewAIMD("w", 1, 8, 4, 1, 0.25)
+	got := steps(c, flat(100, 10))
+	want := []Decision{Hold, Grow, Grow, Grow, Grow, Hold, Hold, Hold, Hold, Hold}
+	wantSeq(t, got, want)
+	if c.Value() != 8 {
+		t.Fatalf("converged value = %d, want 8", c.Value())
+	}
+}
+
+// A latency ramp must trigger multiplicative backoff the epoch the
+// metric leaves the tolerance band, re-anchor on the inflated level,
+// cool for one epoch, then probe again.
+func TestAIMDLatencyRampBacksOff(t *testing.T) {
+	c := NewAIMD("w", 1, 32, 8, 1, 0.25)
+	trace := []Sample{
+		{Metric: 100, Weight: 1}, // anchor
+		{Metric: 105, Weight: 1}, // within band: grow 8→9
+		{Metric: 110, Weight: 1}, // within band: grow 9→10
+		{Metric: 140, Weight: 1}, // +40%: backoff 10→5, base=140
+		{Metric: 140, Weight: 1}, // cooldown: hold
+		{Metric: 140, Weight: 1}, // calm at new base: probe 5→6
+	}
+	wantSeq(t, steps(c, trace), []Decision{Hold, Grow, Grow, Shrink, Hold, Grow})
+	if c.Value() != 6 {
+		t.Fatalf("value after ramp = %d, want 6", c.Value())
+	}
+}
+
+// A weightless epoch (no completions observed) must never move the
+// setting: the controller holds on silence.
+func TestAIMDHoldsWithoutEvidence(t *testing.T) {
+	c := NewAIMD("w", 1, 8, 4, 1, 0.25)
+	trace := []Sample{
+		{Metric: 100, Weight: 1},
+		{Metric: 0, Weight: 0}, // idle epoch: metric value is garbage
+		{Metric: 9999, Weight: 0},
+		{Metric: 100, Weight: 1},
+	}
+	wantSeq(t, steps(c, trace), []Decision{Hold, Hold, Hold, Grow})
+}
+
+// An improving metric lowers the baseline, so a later return to the old
+// level reads as inflation relative to the best seen.
+func TestAIMDTracksImprovingBaseline(t *testing.T) {
+	c := NewAIMD("w", 1, 32, 4, 1, 0.25)
+	trace := []Sample{
+		{Metric: 100, Weight: 1}, // anchor at 100
+		{Metric: 60, Weight: 1},  // better: grow, base drops to 60
+		{Metric: 100, Weight: 1}, // +66% over the new base: backoff
+	}
+	wantSeq(t, steps(c, trace), []Decision{Hold, Grow, Shrink})
+}
+
+// A banded controller on a hit-rate cliff: payoff collapses from rich to
+// zero, and the width must halve only after the hysteresis count, then
+// keep halving to the floor.
+func TestBandHitRateCliff(t *testing.T) {
+	c := NewBand("pagein", 1, 64, 8, 2, 0.5, 0.25, 3)
+	trace := []Sample{
+		{Metric: 0.9, Weight: 1}, // rich: 8→10
+		{Metric: 0.9, Weight: 1}, // 10→12
+		{Metric: 0.0, Weight: 1}, // cliff: below #1
+		{Metric: 0.0, Weight: 1}, // below #2
+		{Metric: 0.0, Weight: 1}, // below #3: 12→6
+		{Metric: 0.0, Weight: 1}, // below #1 (counter reset on shrink)
+		{Metric: 0.0, Weight: 1}, // below #2
+		{Metric: 0.0, Weight: 1}, // below #3: 6→3
+	}
+	want := []Decision{Grow, Grow, Hold, Hold, Shrink, Hold, Hold, Shrink}
+	wantSeq(t, steps(c, trace), want)
+	if c.Value() != 3 {
+		t.Fatalf("value after cliff = %d, want 3", c.Value())
+	}
+}
+
+// The dead band between the two thresholds is a hard hold: a metric
+// wobbling inside it never moves the setting and resets the shrink
+// hysteresis.
+func TestBandDeadBandHoldsAndResetsHysteresis(t *testing.T) {
+	c := NewBand("pagein", 1, 64, 8, 2, 0.5, 0.25, 3)
+	trace := []Sample{
+		{Metric: 0.1, Weight: 1}, // below #1
+		{Metric: 0.1, Weight: 1}, // below #2
+		{Metric: 0.4, Weight: 1}, // dead band: resets the count
+		{Metric: 0.1, Weight: 1}, // below #1 again
+		{Metric: 0.1, Weight: 1}, // below #2
+		{Metric: 0.1, Weight: 1}, // below #3: shrink
+	}
+	want := []Decision{Hold, Hold, Hold, Hold, Hold, Shrink}
+	wantSeq(t, steps(c, trace), want)
+}
+
+// An allocation burst against the watermark controller: stall pressure
+// raises the floor immediately, sustained calm decays it only after the
+// hysteresis count — and a floor already at its minimum reports Hold,
+// not a phantom shrink.
+func TestBandAllocationBurstRaisesWatermark(t *testing.T) {
+	c := NewBand("watermark", 16, 128, 16, 8, 0.5, 0.0, 4)
+	burst := []Sample{
+		{Metric: 3.0, Weight: 5}, // allocators blocked: 16→24
+		{Metric: 1.0, Weight: 3}, // still stalling: 24→32
+		{Metric: 0.0, Weight: 1}, // calm #1
+		{Metric: 0.0, Weight: 1}, // calm #2
+		{Metric: 0.0, Weight: 1}, // calm #3
+		{Metric: 0.0, Weight: 1}, // calm #4: decay 32→16
+		{Metric: 0.0, Weight: 1}, // calm #1 — already at the floor...
+		{Metric: 0.0, Weight: 1},
+		{Metric: 0.0, Weight: 1},
+		{Metric: 0.0, Weight: 1}, // ...so the 4th calm epoch holds
+	}
+	want := []Decision{Grow, Grow, Hold, Hold, Hold, Shrink, Hold, Hold, Hold, Hold}
+	wantSeq(t, steps(c, burst), want)
+	if c.Value() != 16 {
+		t.Fatalf("decayed floor = %d, want 16", c.Value())
+	}
+}
+
+// Bounds are absorbing reported-as-Hold states, never violated.
+func TestControllersRespectBounds(t *testing.T) {
+	up := NewAIMD("w", 1, 4, 4, 1, 0.25)
+	for _, d := range steps(up, flat(10, 5)) {
+		if d == Grow {
+			t.Fatal("grew past the ceiling")
+		}
+	}
+	if up.Value() != 4 {
+		t.Fatalf("value = %d, want pinned 4", up.Value())
+	}
+
+	down := NewBand("b", 2, 64, 2, 1, 0.9, 0.5, 1)
+	for _, d := range steps(down, flat(0, 5)) {
+		if d == Shrink {
+			t.Fatal("shrank past the floor")
+		}
+	}
+	if down.Value() != 2 {
+		t.Fatalf("value = %d, want pinned 2", down.Value())
+	}
+}
+
+// The plane is epoch-gated on the simulated clock and steps every
+// registered controller exactly once per epoch, publishing counters.
+func TestPlaneEpochGating(t *testing.T) {
+	var now time.Duration
+	stats := sim.NewStats()
+	p := NewPlane(func() time.Duration { return now }, time.Millisecond, stats)
+
+	var sampled, applied int
+	c := NewAIMD("w", 1, 8, 2, 1, 0.25)
+	p.Register(Entry{
+		Controller: c,
+		Sample: func() Sample {
+			sampled++
+			return Sample{Metric: 100, Weight: 1}
+		},
+		Apply: func(v int) { applied++ },
+	})
+
+	p.Tick() // arms the epoch clock, no step
+	if sampled != 0 {
+		t.Fatalf("sampled on arming tick: %d", sampled)
+	}
+	for i := 0; i < 10; i++ {
+		p.Tick() // same instant: epoch not elapsed
+	}
+	if sampled != 0 {
+		t.Fatalf("sampled before epoch elapsed: %d", sampled)
+	}
+
+	now += time.Millisecond
+	p.Tick() // first real step: anchors the baseline (Hold, no Apply)
+	now += time.Millisecond
+	p.Tick() // second step: grows 2→3 and applies
+	if sampled != 2 {
+		t.Fatalf("samples = %d, want 2", sampled)
+	}
+	if applied != 1 {
+		t.Fatalf("applies = %d, want 1 (anchor epoch must not apply)", applied)
+	}
+	if c.Value() != 3 {
+		t.Fatalf("value = %d, want 3", c.Value())
+	}
+	if got := stats.Get(CtrSteps); got != 2 {
+		t.Fatalf("%s = %d, want 2", CtrSteps, got)
+	}
+	if got := stats.Get("control.w.grow"); got != 1 {
+		t.Fatalf("control.w.grow = %d, want 1", got)
+	}
+	if got := stats.Get(CtrHold); got != 1 {
+		t.Fatalf("%s = %d, want 1", CtrHold, got)
+	}
+}
+
+// Mutation verification: invert the backoff rule and the latency-ramp
+// and cliff assertions above must fail. This proves the harness actually
+// pins the control law, not just the trace lengths.
+func TestMutationInvertedBackoffIsCaught(t *testing.T) {
+	mutInvertBackoff = true
+	defer func() { mutInvertBackoff = false }()
+
+	// The ramp trace from TestAIMDLatencyRampBacksOff: under the mutation
+	// the +40% epoch must NOT produce the Shrink the real law requires.
+	a := NewAIMD("w", 1, 32, 8, 1, 0.25)
+	got := steps(a, []Sample{
+		{Metric: 100, Weight: 1},
+		{Metric: 105, Weight: 1},
+		{Metric: 110, Weight: 1},
+		{Metric: 140, Weight: 1},
+	})
+	if got[3] == Shrink {
+		t.Fatal("mutant still shrank on the latency ramp; the harness would miss an inverted backoff rule")
+	}
+
+	// The cliff trace from TestBandHitRateCliff: the mutant grows where
+	// the real law halves.
+	b := NewBand("pagein", 1, 64, 8, 2, 0.5, 0.25, 3)
+	got = steps(b, flat(0, 3))
+	if got[2] == Shrink {
+		t.Fatal("mutant still shrank on the hit-rate cliff")
+	}
+	if b.Value() <= 8 {
+		t.Fatalf("mutant value = %d, want growth above 8 proving the inversion took effect", b.Value())
+	}
+}

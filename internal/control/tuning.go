@@ -1,0 +1,141 @@
+package control
+
+import "fmt"
+
+// Bounds for the settings the standard controller set may emit. They
+// exist so a controller bug can never push the system somewhere the
+// mechanisms don't support: windows below one would deadlock admission,
+// clusters above the phys allocator's contiguity are wasted work, and
+// watermarks above half of RAM would let the pagedaemon eat the machine.
+const (
+	// MinWindow / MaxWindow bound the async write windows (pageout to
+	// swap, writeback to the filesystem).
+	MinWindow = 1
+	MaxWindow = 32
+	// MaxPageinCluster bounds the pagein cluster width; matches the
+	// system's MaxCluster pageout bound.
+	MaxPageinCluster = 64
+	// MaxLookaheadBoost bounds how many extra read-ahead pages the
+	// lookahead controller may add on top of the advice baseline.
+	MaxLookaheadBoost = 8
+)
+
+// Tuning is a complete setting vector emitted by the controller set —
+// the control plane's whole interface to the knobs it steers.
+type Tuning struct {
+	// PageoutWindow / WritebackWindow are the in-flight bounds of the two
+	// async write engines (swap pageout, object writeback).
+	PageoutWindow   int
+	WritebackWindow int
+	// PageinCluster is the fault-time cluster width; LookaheadBoost is
+	// added to the advice lookahead when it is non-zero.
+	PageinCluster  int
+	LookaheadBoost int
+	// LowWater / HighWater are the pagedaemon watermarks, in pages.
+	LowWater  int
+	HighWater int
+}
+
+// Validate checks that every setting is one the underlying mechanisms
+// accept, for a machine with ramPages of physical memory. This is the
+// safety contract the property tests enforce over arbitrary observation
+// streams: whatever the metrics do, an emitted Tuning always passes.
+func (t Tuning) Validate(ramPages int) error {
+	if t.PageoutWindow < MinWindow || t.PageoutWindow > MaxWindow {
+		return fmt.Errorf("control: PageoutWindow %d outside [%d, %d]", t.PageoutWindow, MinWindow, MaxWindow)
+	}
+	if t.WritebackWindow < MinWindow || t.WritebackWindow > MaxWindow {
+		return fmt.Errorf("control: WritebackWindow %d outside [%d, %d]", t.WritebackWindow, MinWindow, MaxWindow)
+	}
+	if t.PageinCluster < 1 || t.PageinCluster > MaxPageinCluster {
+		return fmt.Errorf("control: PageinCluster %d outside [1, %d]", t.PageinCluster, MaxPageinCluster)
+	}
+	if t.LookaheadBoost < 0 || t.LookaheadBoost > MaxLookaheadBoost {
+		return fmt.Errorf("control: LookaheadBoost %d outside [0, %d]", t.LookaheadBoost, MaxLookaheadBoost)
+	}
+	if t.LowWater < 1 {
+		return fmt.Errorf("control: LowWater %d below 1", t.LowWater)
+	}
+	if t.HighWater <= t.LowWater {
+		return fmt.Errorf("control: HighWater %d must exceed LowWater %d", t.HighWater, t.LowWater)
+	}
+	if ramPages > 0 && t.HighWater > ramPages/2 {
+		return fmt.Errorf("control: HighWater %d above ram/2 (%d)", t.HighWater, ramPages/2)
+	}
+	return nil
+}
+
+// Set is the standard controller set for one machine: the five loops
+// UVM's autotuner runs, built over a validated starting Tuning so their
+// bounds always agree with Tuning.Validate.
+type Set struct {
+	// Pageout / Writeback deepen the async write windows by completion
+	// latency (AIMD).
+	Pageout   *AIMD
+	Writeback *AIMD
+	// Pagein / Lookahead widen clustering by observed payoff (banded).
+	Pagein    *Band
+	Lookahead *Band
+	// Watermark raises the low watermark under allocation-stall pressure
+	// and decays it after sustained calm; HighWater is derived as twice
+	// the low mark, matching the pagedaemon's static configuration.
+	Watermark *Band
+}
+
+// NewStandardSet builds the standard controllers starting from start,
+// for a machine with ramPages of physical memory. start must validate;
+// the returned set can only ever emit tunings that also validate, which
+// the property tests check against a reference model.
+func NewStandardSet(start Tuning, ramPages int) (*Set, error) {
+	if err := start.Validate(ramPages); err != nil {
+		return nil, err
+	}
+	// The set always derives HighWater as 2× the low mark, so the low
+	// mark's ceiling must keep 2×ceiling under Validate's ram/2 bound.
+	// The operational ceiling is tighter still — ram/8 — because RAM
+	// counts wired kernel pages the daemon can never reclaim: a floor
+	// the controller raised to a quarter of RAM can exceed what is
+	// reclaimable at all, turning the daemon itself into the workload.
+	wmMax := ramPages / 8
+	if ramPages <= 0 {
+		wmMax = start.LowWater * 8
+	}
+	if start.LowWater > wmMax {
+		return nil, fmt.Errorf("control: starting LowWater %d above ram/8 (%d)", start.LowWater, wmMax)
+	}
+	wmInc := start.LowWater / 2
+	if wmInc < 1 {
+		wmInc = 1
+	}
+	return &Set{
+		// Windows: grow while per-completion latency stays within 25% of
+		// the best seen, halve when it inflates.
+		Pageout:   NewAIMD("pageout", MinWindow, MaxWindow, start.PageoutWindow, 1, 0.25),
+		Writeback: NewAIMD("writeback", MinWindow, MaxWindow, start.WritebackWindow, 1, 0.25),
+		// Clustering: the metric is payoff in [0, 1] (fraction of the
+		// speculative pages that were actually used). Grow while at least
+		// half pay off; shrink after three epochs under a quarter.
+		Pagein:    NewBand("pagein", 1, MaxPageinCluster, start.PageinCluster, 2, 0.5, 0.25, 3),
+		Lookahead: NewBand("lookahead", 1, MaxLookaheadBoost+1, start.LookaheadBoost+1, 1, 0.5, 0.25, 3),
+		// Watermarks: the metric is stall pressure (allocator blocks plus
+		// normalised wait time per epoch). Any pressure grows the floor;
+		// four calm epochs decay it.
+		Watermark: NewBand("watermark", start.LowWater, wmMax, start.LowWater, wmInc, 0.5, 0.0, 4),
+	}, nil
+}
+
+// Tuning returns the set's current setting vector. HighWater is derived
+// as 2× the low mark; LookaheadBoost is the lookahead knob minus its
+// 1-based floor (the knob runs on [1, MaxLookaheadBoost+1] because a
+// knob's minimum is 1, while a boost of 0 must stay reachable).
+func (s *Set) Tuning() Tuning {
+	low := s.Watermark.Value()
+	return Tuning{
+		PageoutWindow:   s.Pageout.Value(),
+		WritebackWindow: s.Writeback.Value(),
+		PageinCluster:   s.Pagein.Value(),
+		LookaheadBoost:  s.Lookahead.Value() - 1,
+		LowWater:        low,
+		HighWater:       2 * low,
+	}
+}

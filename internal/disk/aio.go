@@ -20,6 +20,15 @@ import "sync"
 // simulated clock never pays for an overlapped write. Completions for
 // different submissions may run concurrently and in any order; each
 // callback runs exactly once, off the submitter's goroutine.
+//
+// The window is a live setting, not a fixed capacity: SetWindow may
+// grow or shrink it while writes are on the wire (the control plane's
+// feedback loop resizes it from observed completion latency). Admission
+// is therefore a condvar-gated counter rather than a channel semaphore.
+// Shrinking never cancels anything — writes admitted under the old,
+// larger window complete and deliver their callbacks normally; the new
+// bound only gates future admissions, which wait until completions bring
+// the in-flight count under it.
 
 // DefaultAIOWindow is the in-flight write window used when a writer is
 // created with a non-positive window.
@@ -36,9 +45,23 @@ type AsyncWriter struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	sem      chan struct{}
-	inFlight int
+	window   int // admission bound; live, see SetWindow
+	admitted int // writes holding a window slot (released before done)
+	inFlight int // writes submitted whose done callback has not returned
+
+	// gate, when non-nil, runs on each write's I/O goroutine after the
+	// write has been admitted and before its transfer starts. Test hook:
+	// the live-resize race tests use it to hold a known number of writes
+	// in flight while the window shrinks. Must be set before Submit.
+	gate func()
 }
+
+// SetTestGate installs fn to run on each write's I/O goroutine after
+// admission and before the transfer. Test hook only: the live-resize
+// race tests in this package and in internal/swap use it to hold a known
+// number of writes in flight while the window is resized. Must be set
+// before the writes it should gate are submitted; nil removes it.
+func (w *AsyncWriter) SetTestGate(fn func()) { w.gate = fn }
 
 // NewAsyncWriter creates a writer for d admitting window concurrent
 // writes (DefaultAIOWindow if window <= 0).
@@ -46,13 +69,33 @@ func NewAsyncWriter(d *Disk, window int) *AsyncWriter {
 	if window <= 0 {
 		window = DefaultAIOWindow
 	}
-	w := &AsyncWriter{d: d, sem: make(chan struct{}, window)}
+	w := &AsyncWriter{d: d, window: window}
 	w.cond = sync.NewCond(&w.mu)
 	return w
 }
 
-// Window returns the writer's in-flight capacity.
-func (w *AsyncWriter) Window() int { return cap(w.sem) }
+// Window returns the writer's current in-flight admission bound.
+func (w *AsyncWriter) Window() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.window
+}
+
+// SetWindow changes the in-flight admission bound, effective
+// immediately (n <= 0 restores DefaultAIOWindow). Growing wakes blocked
+// submitters; shrinking lets every write admitted under the old bound
+// complete and drain normally while new submissions wait for the
+// in-flight count to fall under the new bound. Safe to call at any time,
+// concurrently with Submit and completions.
+func (w *AsyncWriter) SetWindow(n int) {
+	if n <= 0 {
+		n = DefaultAIOWindow
+	}
+	w.mu.Lock()
+	w.window = n
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
 
 // InFlight returns the number of writes submitted but not yet completed
 // (their done callback has not returned).
@@ -68,16 +111,29 @@ func (w *AsyncWriter) InFlight() int {
 // from another goroutine, with the write's result; the caller must treat
 // the buffers as owned by the I/O until then.
 func (w *AsyncWriter) Submit(start int64, bufs [][]byte, done func(error)) {
-	w.sem <- struct{}{} // claim a window slot; blocks while the window is full
 	w.mu.Lock()
+	for w.admitted >= w.window {
+		w.cond.Wait()
+	}
+	w.admitted++
 	w.inFlight++
 	w.mu.Unlock()
 
 	go func() {
+		if gate := w.gate; gate != nil {
+			gate()
+		}
 		w.io.Lock()
 		err := w.d.WritePagesDeferred(start, bufs)
 		w.io.Unlock()
-		<-w.sem
+		// Release the window slot before running the callback, so a slow
+		// completion (or one that submits follow-on work) never blocks
+		// the next admission — matching the original channel-semaphore
+		// ordering.
+		w.mu.Lock()
+		w.admitted--
+		w.cond.Broadcast()
+		w.mu.Unlock()
 		done(err)
 		w.mu.Lock()
 		w.inFlight--

@@ -1,0 +1,160 @@
+package disk
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Live window resizing (the control plane's lever on the async write
+// engine). The gate hook holds writes in a known in-flight state so the
+// shrink happens at an orchestrated moment rather than whenever the
+// scheduler allows — completions from the old, larger window must be
+// accepted and drained, and the new bound must gate the next admission.
+
+func TestAsyncWriterShrinkWhileInFlight(t *testing.T) {
+	d, _, _ := newTestDisk(256)
+	w := NewAsyncWriter(d, 4)
+
+	release := make(chan struct{})
+	var held atomic.Int32
+	heldFull := make(chan struct{})
+	w.SetTestGate(func() {
+		if held.Add(1) == 4 {
+			close(heldFull) // all four old-window writes are on the wire
+		}
+		<-release
+	})
+
+	done := make(chan error, 8)
+	for i := 0; i < 4; i++ {
+		w.Submit(int64(i*8), [][]byte{page(byte(i))}, func(err error) { done <- err })
+	}
+	<-heldFull
+
+	// Shrink under the four in-flight writes: the old window's writes
+	// must survive the resize and drain normally.
+	w.SetWindow(1)
+	if got := w.Window(); got != 1 {
+		t.Fatalf("Window after shrink = %d, want 1", got)
+	}
+	if got := w.InFlight(); got != 4 {
+		t.Fatalf("in flight after shrink = %d, want 4 (old window's writes)", got)
+	}
+
+	// A fifth submission must wait for the in-flight count to fall under
+	// the new bound, not sneak into an old slot.
+	var admitted atomic.Bool
+	fifthUp := make(chan struct{})
+	go func() {
+		close(fifthUp)
+		w.Submit(200, [][]byte{page(0xee)}, func(err error) { done <- err })
+		admitted.Store(true)
+	}()
+	<-fifthUp
+	if admitted.Load() {
+		t.Fatal("fifth submit admitted while 4 writes exceed the shrunken window")
+	}
+
+	close(release) // old writes complete; the fifth is admitted in turn
+	for i := 0; i < 5; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("completion %d: %v", i, err)
+		}
+	}
+	w.Drain()
+	if got := w.InFlight(); got != 0 {
+		t.Fatalf("in flight after drain = %d", got)
+	}
+	if !admitted.Load() {
+		t.Fatal("fifth submit never admitted after the old window drained")
+	}
+}
+
+func TestAsyncWriterGrowUnblocksSubmitter(t *testing.T) {
+	d, _, _ := newTestDisk(256)
+	w := NewAsyncWriter(d, 1)
+
+	release := make(chan struct{})
+	heldOne := make(chan struct{})
+	var once sync.Once
+	w.SetTestGate(func() {
+		once.Do(func() { close(heldOne) })
+		<-release
+	})
+
+	done := make(chan error, 2)
+	w.Submit(0, [][]byte{page(1)}, func(err error) { done <- err })
+	<-heldOne
+
+	// The second submit blocks on the 1-wide window; growing the window
+	// must admit it without waiting for the first completion.
+	unblocked := make(chan struct{})
+	go func() {
+		w.Submit(8, [][]byte{page(2)}, func(err error) { done <- err })
+		close(unblocked)
+	}()
+	w.SetWindow(2)
+	<-unblocked
+
+	close(release)
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("completion %d: %v", i, err)
+		}
+	}
+	w.Drain()
+}
+
+// TestAsyncWriterResizeStress hammers Submit from many goroutines while
+// another goroutine resizes the window across its whole range; run under
+// -race in CI. Every callback must fire exactly once and Drain must
+// settle to zero.
+func TestAsyncWriterResizeStress(t *testing.T) {
+	d, _, _ := newTestDisk(4096)
+	w := NewAsyncWriter(d, 4)
+
+	const (
+		submitters = 8
+		perG       = 50
+	)
+	var completions atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		n := 1
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			w.SetWindow(n%8 + 1)
+			n++
+		}
+	}()
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				start := int64((g*perG + i) % 4000)
+				w.Submit(start, [][]byte{page(byte(i))}, func(err error) {
+					if err != nil {
+						t.Errorf("write failed: %v", err)
+					}
+					completions.Add(1)
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	w.Drain()
+	if got := completions.Load(); got != submitters*perG {
+		t.Fatalf("completions = %d, want %d", got, submitters*perG)
+	}
+	if got := w.InFlight(); got != 0 {
+		t.Fatalf("in flight after drain = %d", got)
+	}
+}

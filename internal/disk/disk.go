@@ -267,7 +267,7 @@ func (d *Disk) WritePagesDeferred(start int64, data [][]byte) error {
 		d.stats.Inc("disk.errors")
 		return err
 	}
-	d.stats.Inc("disk.writes.deferred")
+	d.stats.Inc(sim.CtrDiskWritesDeferred)
 	d.chargeDeferred(start, k)
 	d.writeBlocks(start, data[:k])
 	if err != nil {

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestPaperReportsByteIdenticalWithAutoTuneOff is the regression fence
+// for the control plane: every paper experiment boots with AutoTune
+// clear, so the reports must stay byte-identical to the goldens captured
+// before the controllers landed. A diff here means the plane leaked into
+// the deterministic path — an always-on tick, a counter recorded
+// unconditionally in a path the paper times, a changed default — and the
+// paper numbers can no longer be compared across revisions.
+//
+// Regenerate the goldens ONLY for an intentional, explained change to
+// the experiments themselves, never to absorb control-plane drift.
+func TestPaperReportsByteIdenticalWithAutoTuneOff(t *testing.T) {
+	for _, id := range []string{"table1", "table3", "fig5"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", id+".quick.golden"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, ok := Lookup(id, true)
+			if !ok {
+				t.Fatalf("experiment %q not registered", id)
+			}
+			var sb strings.Builder
+			if err := r.Run(&sb); err != nil {
+				t.Fatal(err)
+			}
+			if sb.String() != string(want) {
+				t.Errorf("report drifted from the pre-autotune golden:\n--- golden:\n%s\n--- got:\n%s",
+					want, sb.String())
+			}
+		})
+	}
+}
+
+// TestAutotuneReclaimBWCompetitive checks the controller's simulated
+// reclaim bandwidth against the static pageout-window sweep on both
+// machine profiles. Two sources of slack: the controller starts shallow
+// and pays real epochs of exploration, and the workload itself is
+// bimodal — depending on how far the daemon's proactive reclaim runs
+// ahead of demand, a run either never re-faults (cheap) or pays
+// seek-bound re-faults (expensive), for statics and the controller
+// alike. So the controller gets three attempts to reach 70% of the best
+// static point, which separates "found the depth" from "stayed at the
+// start" without failing on an unlucky attractor.
+func TestAutotuneReclaimBWCompetitive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("autotune sweep skipped in -short mode")
+	}
+	for _, prof := range []string{"hdd97", "nvme"} {
+		prof := prof
+		t.Run(prof, func(t *testing.T) {
+			ok := false
+			var auto, best AutotuneSetting
+			for attempt := 0; attempt < 3 && !ok; attempt++ {
+				statics, a, leaked, err := AutotuneReclaimBW(prof, 700)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if leaked != 0 {
+					t.Fatalf("%d Busy pages leaked across the sweep", leaked)
+				}
+				for _, s := range statics {
+					if s.SimBW <= 0 {
+						t.Fatalf("degenerate static point %+v", s)
+					}
+				}
+				auto, best = a, BestSimBW(statics)
+				ok = auto.SimBW >= 0.70*best.SimBW
+			}
+			t.Logf("%-10s sim %9.0f pg/s (best static %s %9.0f pg/s, ratio %.2f)",
+				auto.Label, auto.SimBW, best.Label, best.SimBW, auto.SimBW/best.SimBW)
+			if !ok {
+				t.Errorf("autotuned sim BW %.0f pg/s stayed below 70%% of best static %s (%.0f pg/s) across attempts",
+					auto.SimBW, best.Label, best.SimBW)
+			}
+		})
+	}
+}
+
+// TestAutotuneObjWBCompetitive is the same bar for the writeback window
+// on the object-writeback workload, one profile (the matrix covers the
+// rest).
+func TestAutotuneObjWBCompetitive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("autotune sweep skipped in -short mode")
+	}
+	statics, auto, leaked, err := AutotuneObjWB("hdd97", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaked != 0 {
+		t.Fatalf("%d Busy pages leaked across the sweep", leaked)
+	}
+	best := BestSimBW(statics)
+	t.Logf("autotune %9.0f pg/s vs best static %s %9.0f pg/s",
+		auto.SimBW, best.Label, best.SimBW)
+	if auto.SimBW < 0.70*best.SimBW {
+		t.Errorf("autotuned sim BW %.0f pg/s is below 70%% of best static %s (%.0f pg/s)",
+			auto.SimBW, best.Label, best.SimBW)
+	}
+}
+
+// TestAutotuneTrafficTail is the acceptance check the ISSUE names: on
+// both machine profiles, the autotuned traffic run's fault-latency p99
+// must come within 5% of the best static window sweep point (and may of
+// course beat it). Wall-clock quantiles on a shared machine are noisy,
+// so each profile gets up to three attempts; and like every wall-clock
+// ordering in this package the assertion needs real cores — the runs and
+// their leak sweeps execute everywhere.
+func TestAutotuneTrafficTail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("traffic experiment skipped in -short mode")
+	}
+	for _, prof := range []string{"hdd97", "nvme"} {
+		prof := prof
+		t.Run(prof, func(t *testing.T) {
+			ok := false
+			var auto, best AutotuneSetting
+			for attempt := 0; attempt < 3 && !ok; attempt++ {
+				statics, a, leaked, err := AutotuneTraffic(prof, true, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if leaked != 0 {
+					t.Fatalf("%d Busy pages leaked across the sweep", leaked)
+				}
+				auto, best = a, BestP99(statics)
+				if auto.P99 <= 0 || best.P99 <= 0 {
+					t.Fatalf("degenerate quantiles: auto %+v best %+v", auto, best)
+				}
+				ok = float64(auto.P99) <= 1.05*float64(best.P99)
+			}
+			t.Logf("traffic p99 on %s: autotune %v, best static %s %v (ratio %.2f, GOMAXPROCS=%d)",
+				prof, auto.P99, best.Label, best.P99,
+				float64(auto.P99)/float64(best.P99), runtime.GOMAXPROCS(0))
+			if runtime.GOMAXPROCS(0) < 4 {
+				t.Skipf("GOMAXPROCS=%d: wall-clock tail ordering not observable without cores",
+					runtime.GOMAXPROCS(0))
+			}
+			if !ok {
+				t.Errorf("autotuned p99 %v exceeds 1.05x best static p99 %v on %s",
+					auto.P99, best.P99, prof)
+			}
+		})
+	}
+}
+
+// TestAutotuneMatrixCell runs the autotune cell of the machine-profile
+// matrix end to end on one profile: it must succeed with a clean busy
+// sweep and report the controller-vs-static comparison.
+func TestAutotuneMatrixCell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix cell skipped in -short mode")
+	}
+	c := runMatrixCell("autotune", "nvme", false, true)
+	if c.Err != nil {
+		t.Fatalf("autotune matrix cell failed: %v\nreport:\n%s", c.Err, c.Report)
+	}
+	if c.BusyLeaked != 0 {
+		t.Fatalf("autotune matrix cell leaked %d Busy pages", c.BusyLeaked)
+	}
+	for _, want := range []string{"best static", "autotune"} {
+		if !strings.Contains(c.Report, want) {
+			t.Errorf("cell report missing %q:\n%s", want, c.Report)
+		}
+	}
+}

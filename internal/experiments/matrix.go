@@ -50,8 +50,11 @@ func (c MatrixCell) Name() string {
 // MatrixWorkloads returns the matrix's workload names in canonical
 // order: the boot/exec scenario from internal/workload, the reclaim
 // bandwidth cell, the object writeback cell, the multi-tenant traffic
-// cell, and the allocator-layout cell (per-CPU caches vs single pool).
-func MatrixWorkloads() []string { return []string{"scenario", "reclaim", "objwb", "traffic", "alloc"} }
+// cell, the allocator-layout cell (per-CPU caches vs single pool), and
+// the autotune cell (feedback controllers vs best static setting).
+func MatrixWorkloads() []string {
+	return []string{"scenario", "reclaim", "objwb", "traffic", "alloc", "autotune"}
+}
 
 // MatrixFaultPlan returns the fault schedule the matrix's fault cells
 // install on the swap disk: a torn cluster write, then transient write
@@ -114,6 +117,8 @@ func runMatrixCell(wl, prof string, faults, quick bool) (c MatrixCell) {
 		leaked, err = matrixTraffic(prof, quick, &buf)
 	case "alloc":
 		leaked, err = matrixAlloc(prof, &buf)
+	case "autotune":
+		leaked, err = matrixAutotune(prof, quick, &buf)
 	default:
 		err = fmt.Errorf("matrix: unknown workload %q (valid: %v)", wl, MatrixWorkloads())
 	}

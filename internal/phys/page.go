@@ -333,6 +333,19 @@ func (m *Mem) BusyPages() []*Page {
 	return busy
 }
 
+// ForEachFrame visits every physical frame in PA order until fn returns
+// false. It takes no locks — the visitor sees each frame's atomics
+// (owner, state bits) at whatever instant it reaches them, like
+// BusyPages — so it suits lazy sweeps that re-verify under the owner
+// lock before acting (the syncer's dirty-page trickle).
+func (m *Mem) ForEachFrame(fn func(*Page) bool) {
+	for i := range m.frames {
+		if !fn(&m.frames[i]) {
+			return
+		}
+	}
+}
+
 // Alloc takes a free frame. If zero is set the frame is zero-filled
 // (and the zeroing cost charged); otherwise its previous contents are
 // undefined, exactly like a real free-list page.

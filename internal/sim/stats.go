@@ -149,8 +149,12 @@ const (
 	CtrDiskPagesRead   = "disk.pages.read"
 	CtrDiskPagesWrite  = "disk.pages.written"
 	CtrDiskDeferredNs  = "disk.deferred_ns" // device-busy time of deferred (overlapped) I/O
-	CtrSwapSlotsLive   = "swap.slots.live"
-	CtrSwapIOs         = "swap.ios"
+	// CtrDiskWritesDeferred counts deferred (overlapped) write commands;
+	// CtrDiskDeferredNs / CtrDiskWritesDeferred is the per-completion
+	// device-busy latency the control plane steers window depth by.
+	CtrDiskWritesDeferred = "disk.writes.deferred"
+	CtrSwapSlotsLive      = "swap.slots.live"
+	CtrSwapIOs            = "swap.ios"
 
 	// Asynchronous swap I/O counters (internal/swap/aio.go).
 	CtrSwapAIOWrites      = "swap.aio.writes"       // async cluster writes submitted
@@ -167,6 +171,7 @@ const (
 	CtrPdWakeups    = "uvm.pdaemon.wakeups"    // doorbell rings delivered
 	CtrPdBlocked    = "uvm.pdaemon.blocked"    // allocators that had to wait
 	CtrPdDirect     = "uvm.pdaemon.direct"     // direct-reclaim fallbacks
+	CtrPdWaitNs     = "uvm.pdaemon.wait_ns"    // simulated ns allocators spent blocked on free pages
 
 	// Reclaim I/O pipeline counters (async pageout, parallel reclaim
 	// workers, clustered pagein — internal/uvm/pdaemon.go, pagein.go).

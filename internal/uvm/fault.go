@@ -302,7 +302,7 @@ func (s *System) faultAnon(e *entry, am *amap, a *anon, slot int, write bool) (*
 	a.mu.Lock()
 	if a.page == nil {
 		var err error
-		if s.cfg.PageinCluster > 1 && a.swslot != swap.NoSlot {
+		if s.pageinWindow() > 1 && a.swslot != swap.NoSlot {
 			// Clustered pagein: drag in VA neighbours whose swap slots
 			// are adjacent to ours with the same I/O (see pagein.go).
 			err = s.pageinCluster(am, a, slot)
@@ -398,6 +398,13 @@ func (s *System) lookahead(p *Process, e *entry, faultVA param.VAddr) {
 	ahead, behind := e.advice.Lookahead()
 	if ahead == 0 && behind == 0 {
 		return
+	}
+	if boost := s.lookaheadBoost(); boost > 0 && ahead > 0 {
+		// Control plane: widen the forward window past the advice
+		// baseline while the batched-entry payoff holds up. Never applied
+		// to Random-advice entries (ahead == 0) — their zero window is a
+		// correctness choice, not a tuning.
+		ahead += boost
 	}
 	base := param.Trunc(faultVA)
 	lo := e.start

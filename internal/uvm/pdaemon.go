@@ -55,9 +55,14 @@ var (
 // allocPage degrades to inline reclaim — so teardown ordering is
 // forgiving.
 type pagedaemon struct {
-	s    *System
-	low  int // wake the daemon when free pages drop below this
-	high int // each round reclaims toward this free-page target
+	s *System
+
+	// Watermarks: wake the daemon when free pages drop below lowA; each
+	// round reclaims toward highA. Atomics because the control plane may
+	// retarget them live (setWatermarks) while the daemon, completions
+	// and blocked allocators read them.
+	lowA  atomic.Int64
+	highA atomic.Int64
 
 	wake chan struct{} // doorbell; buffered(1), rung by kick
 	done chan struct{} // closed when the daemon goroutine exits
@@ -79,13 +84,38 @@ type pagedaemon struct {
 func newPagedaemon(s *System, low int) *pagedaemon {
 	pd := &pagedaemon{
 		s:    s,
-		low:  low,
-		high: 2 * low,
 		wake: make(chan struct{}, 1),
 		done: make(chan struct{}),
 	}
+	pd.lowA.Store(int64(low))
+	pd.highA.Store(int64(2 * low))
 	pd.cond = sync.NewCond(&pd.mu)
 	return pd
+}
+
+// lowMark and highMark read the current watermarks.
+func (pd *pagedaemon) lowMark() int  { return int(pd.lowA.Load()) }
+func (pd *pagedaemon) highMark() int { return int(pd.highA.Load()) }
+
+// setWatermarks retargets the daemon live: low is the new wake
+// threshold, high the new per-round reclaim target (the control plane
+// keeps high = 2×low, like the static boot sizing). The phys watermark
+// callback is re-registered so allocations fire the doorbell at the new
+// threshold, and the doorbell is rung once — raising the low mark may
+// mean the machine is suddenly below it, and no allocation may come
+// along to notice. Safe from any goroutine, including ones holding VM
+// locks (it only stores atomics and rings the non-blocking doorbell);
+// allocators blocked in waitForFree are unaffected — they wait on round
+// generations, not watermark values, so no wakeup can be lost across a
+// resize.
+func (pd *pagedaemon) setWatermarks(low, high int) {
+	if low < 1 || high <= low {
+		return // controller bug; bounds are enforced upstream, keep safe
+	}
+	pd.lowA.Store(int64(low))
+	pd.highA.Store(int64(high))
+	pd.s.mach.Mem.SetLowWater(low, pd.kick)
+	pd.kick()
 }
 
 // kick rings the daemon's doorbell. Non-blocking and lock-free, so it is
@@ -121,7 +151,7 @@ func (pd *pagedaemon) run() {
 			}
 		}
 		free := pd.s.mach.Mem.FreePages()
-		if free >= pd.low {
+		if free >= pd.lowMark() {
 			pd.mu.Lock()
 			if pd.waiters == 0 {
 				// Spurious wakeup: no one waiting and memory is fine.
@@ -137,7 +167,7 @@ func (pd *pagedaemon) run() {
 			pd.mu.Unlock()
 			continue
 		}
-		target := pd.high - free
+		target := pd.highMark() - free
 		if target < pd.s.cfg.ReclaimBatch {
 			target = pd.s.cfg.ReclaimBatch
 		}
@@ -166,9 +196,10 @@ func (pd *pagedaemon) run() {
 		// with the next scan; if the next scan finds everything already
 		// in flight it frees and submits nothing, stops re-kicking, and
 		// the completions take over via asyncDone's kick.)
-		if (freed > 0 || submitted > 0) && pd.s.mach.Mem.FreePages() < pd.low {
+		if (freed > 0 || submitted > 0) && pd.s.mach.Mem.FreePages() < pd.lowMark() {
 			pd.kick()
 		}
+		pd.s.tunerTick()
 	}
 }
 
@@ -191,9 +222,10 @@ func (pd *pagedaemon) asyncDone(freed int) {
 	pd.genFreed = freed
 	pd.cond.Broadcast()
 	pd.mu.Unlock()
-	if freed > 0 && pd.s.mach.Mem.FreePages() < pd.low {
+	if freed > 0 && pd.s.mach.Mem.FreePages() < pd.lowMark() {
 		pd.kick()
 	}
+	pd.s.tunerTick()
 }
 
 // waitForFree blocks the calling allocator until the daemon completes a
@@ -205,6 +237,14 @@ func (pd *pagedaemon) asyncDone(freed int) {
 // a kernel thread sleeping on pageout I/O.
 func (pd *pagedaemon) waitForFree() error {
 	pd.s.mach.Stats.Inc(sim.CtrPdBlocked)
+	// Wakeup-to-satisfy latency: how long (simulated) this allocator was
+	// stalled. The clock advances on other goroutines' work while we
+	// sleep, so the delta is the paging work the stall waited out — the
+	// signal the watermark controller sizes the low mark from.
+	start := pd.s.mach.Clock.Now()
+	defer func() {
+		pd.s.mach.Stats.Add(sim.CtrPdWaitNs, int64(pd.s.mach.Clock.Since(start)))
+	}()
 	pd.mu.Lock()
 	defer pd.mu.Unlock()
 	if pd.shutdown {

@@ -460,6 +460,7 @@ func (p *Process) Access(addr param.VAddr, write bool) error {
 		access = param.ProtWrite
 	}
 	s := p.sys
+	s.tunerTick() // the fault/touch entry is the control plane's clock source
 	if pte, ok := p.pm.Extract(addr); ok && pte.Prot.Allows(access) {
 		s.mach.Clock.Advance(s.mach.Costs.PageTouch)
 		pte.Page.Referenced.Store(true)

@@ -199,6 +199,16 @@ type Config struct {
 	// WritebackCluster caps pages per object writeback I/O. 0 means
 	// MaxCluster.
 	WritebackCluster int
+	// AutoTune engages the feedback control plane (internal/control,
+	// autotune.go): the pageout/writeback windows, pagein cluster,
+	// lookahead and pagedaemon watermarks become live settings steered by
+	// observed completion latency, hit rates and allocation stalls, and a
+	// periodic syncer trickles dirty object pages through the writeback
+	// engine. Requires the asynchronous pagedaemon (no effect with
+	// InlineReclaim). Off — the default — every knob stays exactly at its
+	// configured static value and runs remain byte-deterministic;
+	// vmapi.MachineConfig.AutoTune also sets this at boot.
+	AutoTune bool
 }
 
 // DefaultConfig returns UVM's standard tuning.
@@ -217,6 +227,14 @@ type System struct {
 
 	// pd is the asynchronous pagedaemon (nil with cfg.InlineReclaim).
 	pd *pagedaemon
+
+	// tuner is the feedback control plane (nil unless AutoTune; see
+	// autotune.go). The knobs it steers live here as atomics — always
+	// initialised from cfg, so with the tuner off every read returns the
+	// static configured value and behaviour is unchanged.
+	tuner          *autotuner
+	pageinClusterA atomic.Int32
+	lookaheadA     atomic.Int32 // extra read-ahead pages over the advice baseline
 
 	kmap      *vmMap
 	kentryUse atomic.Int32
@@ -265,6 +283,7 @@ func BootConfig(m *vmapi.Machine, cfg Config) *System {
 		procs: make(map[*Process]struct{}),
 	}
 	s.wbCond = sync.NewCond(&s.wbMu)
+	s.pageinClusterA.Store(int32(cfg.PageinCluster))
 	if cfg.AsyncWriteback && cfg.WritebackWindow > 0 {
 		m.FS.SetWriteWindow(cfg.WritebackWindow)
 	}
@@ -287,10 +306,30 @@ func BootConfig(m *vmapi.Machine, cfg Config) *System {
 			m.Swap.SetAIOWindow(cfg.PageoutWindow)
 		}
 		s.pd = newPagedaemon(s, s.lowWater())
-		m.Mem.SetLowWater(s.pd.low, s.pd.kick)
+		m.Mem.SetLowWater(s.pd.lowMark(), s.pd.kick)
 		go s.pd.run()
+		if cfg.AutoTune || m.AutoTune {
+			s.startAutotune()
+		}
 	}
 	return s
+}
+
+// pageinWindow reads the live clustered-pagein window (cfg.PageinCluster
+// unless the control plane has moved it).
+func (s *System) pageinWindow() int { return int(s.pageinClusterA.Load()) }
+
+// lookaheadBoost reads the control plane's extra read-ahead pages (0
+// unless autotuning).
+func (s *System) lookaheadBoost() int { return int(s.lookaheadA.Load()) }
+
+// tunerTick gives the control plane a chance to advance an epoch. Called
+// from completion paths and the fault entry with no VM locks held; a
+// single nil check when autotuning is off.
+func (s *System) tunerTick() {
+	if t := s.tuner; t != nil {
+		t.tick()
+	}
 }
 
 // lowWater sizes the pagedaemon's wake threshold for this machine.
@@ -319,6 +358,12 @@ func (s *System) lowWater() int {
 // remains usable — reclaim falls back to running inline in allocating
 // goroutines — so shutdown order is forgiving. Idempotent.
 func (s *System) Shutdown() {
+	if s.tuner != nil {
+		// Stop the syncer before the drains below: it submits new
+		// writeback I/O, so it must be quiescent before Drain's "nothing
+		// in flight" means anything.
+		s.tuner.stop()
+	}
 	if s.pd != nil {
 		s.pd.stop()
 		s.mach.Swap.DrainAsync()

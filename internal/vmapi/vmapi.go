@@ -92,6 +92,15 @@ type MachineConfig struct {
 	// byte-identical to the pre-profile behaviour.
 	Profile string
 
+	// AutoTune asks the booted VM system to run its feedback control
+	// plane (internal/control): live resizing of the async write windows,
+	// pagein clustering, lookahead and pagedaemon watermarks from
+	// observed latency and hit rates, plus the periodic syncer. Default
+	// off — every paper experiment runs with static tuning, and their
+	// reports are byte-identical with this flag clear. Systems without a
+	// control plane (bsdvm) ignore it.
+	AutoTune bool
+
 	// FSFaultPlan and SwapFaultPlan, when non-nil, are installed on the
 	// filesystem and swap disks at boot (disk.FaultPlan). Plans are
 	// per-device state and must not be shared between the two.
@@ -182,6 +191,10 @@ type Machine struct {
 
 	FSDisk   *disk.Disk
 	SwapDisk *disk.Disk
+
+	// AutoTune records MachineConfig.AutoTune for the VM system booted on
+	// this machine (the machine itself has no controllers).
+	AutoTune bool
 }
 
 // NewMachine boots a machine per cfg, with the cost table named by
@@ -224,6 +237,7 @@ func NewMachine(cfg MachineConfig) *Machine {
 		FS:       vfs.NewFS(clock, costs, stats, fsDisk, cfg.MaxVnodes),
 		FSDisk:   fsDisk,
 		SwapDisk: swDisk,
+		AutoTune: cfg.AutoTune,
 	}
 }
 

@@ -9,10 +9,10 @@
 #   3. undocumented exported identifiers (top-level funcs, methods,
 #      types, vars and consts without a doc comment) in internal/swap,
 #      internal/uvm, internal/pmap, internal/phys, internal/disk,
-#      internal/vfs, internal/workload, internal/experiments and
-#      internal/histogram — the subsystems whose documentation this repo
-#      commits to keeping current. Members of grouped const/var blocks
-#      are outside the check's scope.
+#      internal/vfs, internal/workload, internal/experiments,
+#      internal/histogram and internal/control — the subsystems whose
+#      documentation this repo commits to keeping current. Members of
+#      grouped const/var blocks are outside the check's scope.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 fail=0
@@ -48,7 +48,7 @@ done
 for f in internal/swap/*.go internal/uvm/*.go internal/pmap/*.go \
          internal/phys/*.go internal/disk/*.go internal/vfs/*.go \
          internal/workload/*.go internal/experiments/*.go \
-         internal/histogram/*.go; do
+         internal/histogram/*.go internal/control/*.go; do
   case "$f" in *_test.go) continue ;; esac
   if ! awk -v file="$f" '
     /^(func|type|var|const) [A-Z]/ || /^func \([^)]*\) [A-Z]/ {
