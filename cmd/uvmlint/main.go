@@ -1,0 +1,86 @@
+// Command uvmlint is the UVM static-analysis driver. It runs the four
+// analyzers in internal/analysis (lockorder, completioncallback,
+// simdet, counterhandle) in two modes:
+//
+//	uvmlint ./...                           standalone, loads packages itself
+//	go vet -vettool=$(which uvmlint) ./...  unit-checker driven by cmd/go
+//
+// The vettool protocol is the one cmd/go speaks to golang.org/x/tools
+// unitchecker binaries: -V=full prints a build identity, -flags prints
+// a JSON flag description, and a *.cfg argument selects one package
+// unit to analyse.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"strings"
+
+	"uvm/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full" || args[0] == "--V=full":
+			printVersion()
+			return 0
+		case args[0] == "-flags" || args[0] == "--flags":
+			// No tool-specific flags.
+			fmt.Println("[]")
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			return analysis.RunUnitchecker(args[0], os.Stderr)
+		}
+	}
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: uvmlint <packages>  (or via go vet -vettool)")
+		return 1
+	}
+	return runStandalone(args)
+}
+
+// printVersion emits the `<name> version devel buildID=<h>/<h>` line
+// cmd/go parses to decide whether cached vet results are reusable. The
+// hash of our own executable changes whenever the tool is rebuilt,
+// which is exactly the invalidation cmd/go wants.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			h.Write(data)
+		}
+	}
+	id := fmt.Sprintf("%x", h.Sum(nil))[:32]
+	fmt.Printf("uvmlint version devel buildID=%s/%s\n", id, id)
+}
+
+// runStandalone loads the named packages (plus their in-module deps)
+// and runs the suite over all of them in dependency order, so
+// cross-package facts work exactly as in vet mode.
+func runStandalone(patterns []string) int {
+	res, err := analysis.LoadPackages(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uvmlint: %v\n", err)
+		return 1
+	}
+	exit := 0
+	for _, t := range res.Targets {
+		diags, facts, err := analysis.RunSuite(t, analysis.Suite())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uvmlint: %s: %v\n", t.Path, err)
+			return 1
+		}
+		res.Facts[t.Path] = facts
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
+			exit = 2
+		}
+	}
+	return exit
+}

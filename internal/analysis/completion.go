@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/ast"
+	"sort"
+)
+
+// CompletionAnalyzer enforces the completion-callback locking rules
+// documented atop internal/uvm/system.go: a function annotated
+// //uvm:completion runs on an I/O goroutine holding (at most) the
+// anon/object locks handed over with the in-flight cluster, so neither
+// it nor anything it statically reaches may blockingly acquire a
+// system, map, vnobj, object, amap or anon lock, and it must never
+// block on a condition variable. Findings are waived with
+// //uvm:completion-ok <reason>.
+var CompletionAnalyzer = &Analyzer{
+	Name: "completioncallback",
+	Doc:  "completion callbacks must only take locks strictly below the anon level and never block on condvars",
+	Run:  runCompletion,
+}
+
+func runCompletion(pass *Pass) error {
+	if !pkgInSet(pass.Pkg.Path(), lockCorePackages) || len(pass.Dirs.Completions) == 0 {
+		return nil
+	}
+	res := &resolver{info: pass.TypesInfo, pkg: pass.Pkg, dirs: pass.Dirs, facts: pass.Facts}
+
+	// Same-package call graph over declared functions.
+	decls := make(map[string]*ast.FuncDecl)
+	callees := make(map[string][]string)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			key := funcDeclKey(fd)
+			decls[key] = fd
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if pkgPath, ck, ok := res.calleeKey(call); ok && pkgPath == pass.Pkg.Path() {
+					callees[key] = append(callees[key], ck)
+				}
+				return true
+			})
+		}
+	}
+
+	// Reachability from the annotated entry points, tracking one sample
+	// path for the diagnostics.
+	via := make(map[string]string) // reached key -> entry it is reached from
+	var frontier []string
+	entries := make([]string, 0, len(pass.Dirs.Completions))
+	for key := range pass.Dirs.Completions {
+		entries = append(entries, key)
+	}
+	sort.Strings(entries)
+	for _, key := range entries {
+		via[key] = key
+		frontier = append(frontier, key)
+	}
+	for len(frontier) > 0 {
+		key := frontier[0]
+		frontier = frontier[1:]
+		for _, ck := range callees[key] {
+			if _, seen := via[ck]; !seen {
+				via[ck] = via[key]
+				frontier = append(frontier, ck)
+			}
+		}
+	}
+
+	for _, key := range sortedKeys(via) {
+		fd, ok := decls[key]
+		if !ok {
+			continue
+		}
+		entry := via[key]
+		// Closures defined inside a completion-reachable function are
+		// scanned too: completion bodies routinely delegate to small
+		// inline helpers.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if site, ok := res.lockCall(call); ok {
+				switch {
+				case site.blocking() && site.level != "" && completionForbidden[site.level]:
+					pass.Reportf(call.Pos(), "completion-ok",
+						"%s acquires %s(%s) but is reachable from completion callback %s: completions may only take locks below the anon level",
+						key, site.expr, site.level, entry)
+				case site.recvType == "Cond" && site.method == "Wait":
+					pass.Reportf(call.Pos(), "completion-ok",
+						"%s blocks on %s.Wait() but is reachable from completion callback %s: completions must never wait on a condvar",
+						key, site.expr, entry)
+				}
+				return false
+			}
+			// Cross-package call: consult the callee's exported summary.
+			pkgPath, ck, ok := res.calleeKey(call)
+			if !ok || pkgPath == pass.Pkg.Path() {
+				return true
+			}
+			pf := pass.Facts(pkgPath)
+			if pf == nil {
+				return true
+			}
+			ff, ok := pf.Funcs[ck]
+			if !ok {
+				return true
+			}
+			var bad []string
+			for _, level := range ff.Acquires {
+				if completionForbidden[level] {
+					bad = append(bad, level)
+				}
+			}
+			if len(bad) > 0 {
+				pass.Reportf(call.Pos(), "completion-ok",
+					"call to %s (acquires %s) in code reachable from completion callback %s: completions may only take locks below the anon level",
+					ck, levelList(bad), entry)
+			}
+			if ff.Waits {
+				pass.Reportf(call.Pos(), "completion-ok",
+					"call to %s (may wait on a condvar) in code reachable from completion callback %s",
+					ck, entry)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

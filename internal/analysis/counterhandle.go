@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CounterHandleAnalyzer flags string-keyed sim.Stats counter traffic
+// (Add, Inc, Counter) inside loops in the hot-path packages: every such
+// call re-resolves the counter name through the Stats sync.Map, and the
+// established idiom — a sim.Counter handle cached at subsystem
+// construction — exists precisely so per-operation paths do not pay
+// that lookup. Findings are waived with //uvm:counter-ok <reason>.
+var CounterHandleAnalyzer = &Analyzer{
+	Name: "counterhandle",
+	Doc:  "hot loops must use cached sim.Counter handles, not string-keyed Stats lookups",
+	Run:  runCounterHandle,
+}
+
+func runCounterHandle(pass *Pass) error {
+	if !pkgInSet(pass.Pkg.Path(), counterPackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		var loopDepth int
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				if n.Init != nil {
+					ast.Inspect(n.Init, visit)
+				}
+				if n.Cond != nil {
+					ast.Inspect(n.Cond, visit)
+				}
+				loopDepth++
+				ast.Inspect(n.Body, visit)
+				if n.Post != nil {
+					ast.Inspect(n.Post, visit)
+				}
+				loopDepth--
+				return false
+			case *ast.RangeStmt:
+				ast.Inspect(n.X, visit)
+				loopDepth++
+				ast.Inspect(n.Body, visit)
+				loopDepth--
+				return false
+			case *ast.CallExpr:
+				if loopDepth == 0 {
+					return true
+				}
+				if method, ok := statsCall(pass.TypesInfo, n); ok {
+					pass.Reportf(n.Pos(), "counter-ok",
+						"string-keyed sim.Stats.%s inside a loop: cache a sim.Counter handle at construction instead of re-resolving the name per iteration", method)
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, visit)
+	}
+	return nil
+}
+
+// statsCall reports whether call is a string-keyed method on
+// uvm/internal/sim.Stats.
+func statsCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return "", false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/sim") {
+		return "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", false
+	}
+	named, ok := derefNamed(recv.Type())
+	if !ok || named.Obj().Name() != "Stats" {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Add", "Inc", "Counter":
+		return fn.Name(), true
+	}
+	return "", false
+}

@@ -1,0 +1,58 @@
+// Package uvm is the completioncallback fixture: an annotated
+// completion entry point whose callees acquire a forbidden-level lock
+// and wait on a condvar, plus a waived acquisition the mutation test
+// un-waives.
+package uvm
+
+import "sync"
+
+type uobject struct {
+	//uvm:lock object
+	mu sync.Mutex
+}
+
+type flight struct {
+	//uvm:lock flight
+	mu sync.Mutex
+
+	o *uobject
+}
+
+// runDone is the I/O completion callback for a writeback flight.
+//
+//uvm:completion
+func (f *flight) runDone() {
+	f.mu.Lock()
+	f.finish()
+	f.mu.Unlock()
+}
+
+// finish is only called from runDone, so it inherits the completion
+// restriction transitively.
+func (f *flight) finish() {
+	f.o.mu.Lock() // want `reachable from completion callback flight\.runDone`
+	f.o.mu.Unlock()
+}
+
+type waiter struct {
+	//uvm:lock wbcond
+	mu sync.Mutex
+	cv *sync.Cond
+}
+
+// condDone blocks on a condvar from a completion context.
+//
+//uvm:completion
+func (w *waiter) condDone() {
+	w.cv.Wait() // want `must never wait on a condvar`
+}
+
+// waivedDone documents a justified exception; the mutation test strips
+// the waiver and expects the diagnostic back.
+//
+//uvm:completion
+func (f *flight) waivedDone() {
+	//uvm:completion-ok fixture: the object is quiescent once its last flight completes
+	f.o.mu.Lock()
+	f.o.mu.Unlock()
+}

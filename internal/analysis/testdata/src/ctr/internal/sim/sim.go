@@ -1,0 +1,24 @@
+// Package sim is a minimal stand-in for the real sim package: just
+// enough surface for the counterhandle fixture to type-check.
+package sim
+
+// Stats mimics the string-keyed counter registry.
+type Stats struct{}
+
+// Inc bumps the named counter by one.
+func (s *Stats) Inc(name string) {}
+
+// Add bumps the named counter by delta.
+func (s *Stats) Add(name string, delta int64) {}
+
+// Counter resolves a cached handle for the named counter.
+func (s *Stats) Counter(name string) Counter { return Counter{} }
+
+// Counter is a pre-resolved handle; its methods skip the name lookup.
+type Counter struct{}
+
+// Inc bumps the counter by one.
+func (c Counter) Inc() {}
+
+// Add bumps the counter by delta.
+func (c Counter) Add(delta int64) {}

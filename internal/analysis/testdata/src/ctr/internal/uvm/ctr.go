@@ -1,0 +1,42 @@
+// Package uvm is the counterhandle fixture: string-keyed Stats traffic
+// inside loops versus the cached-handle idiom, plus a waived cold loop
+// the mutation test un-waives.
+package uvm
+
+import "ctr/internal/sim"
+
+type system struct {
+	stats *sim.Stats
+	ops   sim.Counter
+}
+
+// hotLoop pays the string lookup every iteration; the cached handle
+// beside it is the idiom.
+func (s *system) hotLoop(n int) {
+	for i := 0; i < n; i++ {
+		s.stats.Inc("uvm.fixture.ops") // want `string-keyed sim\.Stats\.Inc inside a loop`
+		s.ops.Inc()
+	}
+}
+
+// resolveInLoop re-resolves a handle per iteration, which is the same
+// lookup in disguise.
+func (s *system) resolveInLoop(n int) {
+	for i := 0; i < n; i++ {
+		s.stats.Counter("uvm.fixture.ops").Add(2) // want `string-keyed sim\.Stats\.Counter inside a loop`
+	}
+}
+
+// waivedLoop is a cold path with a recorded justification; the mutation
+// test strips the waiver and expects the diagnostic back.
+func (s *system) waivedLoop(n int) {
+	for i := 0; i < n; i++ {
+		//uvm:counter-ok fixture: boot-time loop, runs once
+		s.stats.Add("uvm.fixture.cold", 1)
+	}
+}
+
+// outside is not in a loop: a one-off lookup is fine.
+func (s *system) outside() {
+	s.stats.Inc("uvm.fixture.boot")
+}

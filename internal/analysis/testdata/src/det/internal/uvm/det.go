@@ -1,0 +1,38 @@
+// Package uvm is the simdet fixture: wall-clock reads and map-order
+// iteration in a report-feeding package, with waived variants the
+// mutation test un-waives.
+package uvm
+
+import "time"
+
+// wall reads the host clock where the sim clock is required.
+func wall() time.Duration {
+	t0 := time.Now()      // want `time\.Now reads the wall clock`
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+// waivedWall measures host time on purpose and says so.
+func waivedWall() time.Time {
+	//uvm:wallclock fixture: real elapsed time is the metric here
+	return time.Now()
+}
+
+// mapRange lets Go's randomised map order leak into its result order.
+func mapRange(m map[int]int) []int {
+	var out []int
+	for k := range m { // want `range over a map in a report-feeding package`
+		out = append(out, k)
+	}
+	return out
+}
+
+// waivedRange is order-independent and says so; the mutation test
+// strips the waiver and expects the diagnostic back.
+func waivedRange(m map[int]int) int {
+	n := 0
+	//uvm:maporder-ok fixture: summing is order-independent
+	for k := range m {
+		n += k
+	}
+	return n
+}

@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+)
+
+// Unit-checker mode: `go vet -vettool=uvmlint ./...` invokes the tool
+// once per package with the path of a vet.cfg JSON file. go vet drives
+// the full dependency graph (standard library included, as facts-only
+// units), hands each unit the export data and vetx facts of its direct
+// imports, and expects the unit's own facts written to VetxOutput.
+
+// vetConfig mirrors the subset of cmd/go's vet config the checker needs.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	Standard                  map[string]bool
+	ModulePath                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnitchecker analyses the package described by cfgFile and returns
+// the process exit code (0 clean, 2 diagnostics).
+func RunUnitchecker(cfgFile string, stderr io.Writer) int {
+	cfg, err := readVetConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintf(stderr, "uvmlint: %v\n", err)
+		return 1
+	}
+
+	// Only analyse this module's non-test package variants; everything
+	// else (stdlib units, test binaries, external-test packages) gets an
+	// empty facts file so downstream units load cleanly.
+	if !analysableImportPath(cfg.ImportPath, cfg.ModulePath) {
+		if err := writeFacts(cfg.VetxOutput, &PackageFacts{}); err != nil {
+			fmt.Fprintf(stderr, "uvmlint: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		// go vet folds a package's internal test files into the same
+		// compilation unit. The suite audits report-feeding production
+		// code; tests may freely range maps and read the wall clock, so
+		// they are excluded here just as `go list` excludes them from
+		// the standalone runner's file set.
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(stderr, "uvmlint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// go vet gives us export data for every import, so the gc importer
+	// serves module and stdlib packages alike.
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	pkg, info, err := check(fset, cfg.ImportPath, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "uvmlint: %v\n", err)
+		return 1
+	}
+
+	factCache := make(map[string]*PackageFacts)
+	target := &Target{
+		Path:      cfg.ImportPath,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Facts: func(path string) *PackageFacts {
+			if pf, ok := factCache[path]; ok {
+				return pf
+			}
+			if mapped, ok := cfg.ImportMap[path]; ok {
+				path = mapped
+			}
+			file, ok := cfg.PackageVetx[path]
+			if !ok {
+				return nil
+			}
+			pf, err := readFacts(file)
+			if err != nil {
+				pf = nil
+			}
+			factCache[path] = pf
+			return pf
+		},
+	}
+
+	diags, facts, err := RunSuite(target, Suite())
+	if err != nil {
+		fmt.Fprintf(stderr, "uvmlint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if err := writeFacts(cfg.VetxOutput, facts); err != nil {
+		fmt.Fprintf(stderr, "uvmlint: %v\n", err)
+		return 1
+	}
+	if cfg.VetxOnly || len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
+	}
+	return 2
+}
+
+// analysableImportPath reports whether the unit is one of this module's
+// regular (non-test-variant) packages.
+func analysableImportPath(importPath, modulePath string) bool {
+	if modulePath == "" || (importPath != modulePath && !strings.HasPrefix(importPath, modulePath+"/")) {
+		return false
+	}
+	// "p [p.test]" in-test variants, "p.test" binaries, "p_test" external
+	// test packages.
+	if strings.Contains(importPath, " [") ||
+		strings.HasSuffix(importPath, ".test") ||
+		strings.HasSuffix(importPath, "_test") {
+		return false
+	}
+	return true
+}
+
+func readVetConfig(path string) (*vetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	return &cfg, nil
+}
+
+func writeFacts(path string, facts *PackageFacts) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(facts); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readFacts(path string) (*PackageFacts, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var facts PackageFacts
+	if err := gob.NewDecoder(f).Decode(&facts); err != nil {
+		return nil, err
+	}
+	return &facts, nil
+}

@@ -65,7 +65,7 @@ func (s *System) fault(p *process, va param.VAddr, access param.Prot) error {
 		// operations, its own lock...").
 		s.mach.Clock.Advance(s.mach.Costs.LockAcquire)
 		s.mach.Clock.Advance(s.mach.Costs.ChainSearch)
-		s.mach.Stats.Inc(sim.CtrChainWalk)
+		s.ctrChainWalk.Inc()
 		if q, ok := obj.pages[idx]; ok {
 			pg, foundObj = q, obj
 			break

@@ -27,7 +27,7 @@ func (c *objCache) enter(s *System, o *object) {
 	for len(c.objs) > c.limit {
 		victim := c.lru()
 		c.remove(s, victim)
-		s.mach.Stats.Inc("bsdvm.objcache.evictions")
+		s.ctrCacheEvictions.Inc()
 		s.terminate(victim)
 	}
 }
@@ -35,6 +35,7 @@ func (c *objCache) enter(s *System, o *object) {
 // lru returns the least recently cached object.
 func (c *objCache) lru() *object {
 	var victim *object
+	//uvm:maporder-ok strict minimum over unique cacheSeq values; order-independent
 	for o := range c.objs {
 		if victim == nil || o.cacheSeq < victim.cacheSeq {
 			victim = o

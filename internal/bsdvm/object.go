@@ -130,6 +130,7 @@ func (s *System) deallocate(o *object) {
 func (s *System) terminate(o *object) {
 	// Flush modified file pages back before the pages die.
 	s.flushDirty(o)
+	//uvm:maporder-ok frees interchangeable frames; no cost depends on free order
 	for idx, pg := range o.pages {
 		s.freeObjectPage(o, idx, pg)
 	}
@@ -157,6 +158,7 @@ func (s *System) flushDirty(o *object) {
 	if o.vnode == nil || o.anon {
 		return
 	}
+	//uvm:maporder-ok deferred writes charge fixed per-page time and never move the disk head
 	for idx, pg := range o.pages {
 		if pg.Dirty.Load() {
 			_ = o.vnode.WritePageAsync(idx, pg.Data)
@@ -184,12 +186,14 @@ func (o *object) hasSwap(idx int) bool {
 // contributes reports whether o holds any page or swap data in the window
 // [off, off+n) — used by the collapse bypass test.
 func (o *object) contributes(off, n int) bool {
+	//uvm:maporder-ok boolean any-match; order-independent
 	for idx := range o.pages {
 		if idx >= off && idx < off+n {
 			return true
 		}
 	}
 	if o.pager != nil && o.pager.swp != nil {
+		//uvm:maporder-ok boolean any-match; order-independent
 		for idx := range o.pager.swp.slots {
 			if idx >= off && idx < off+n {
 				return true
@@ -210,7 +214,7 @@ func (s *System) collapse(o *object) {
 	}
 	for {
 		s.mach.Clock.Advance(s.mach.Costs.CollapseScan)
-		s.mach.Stats.Inc("bsdvm.collapse.scan")
+		s.ctrCollapseScan.Inc()
 
 		sh := o.shadow
 		if sh == nil || !sh.anon || sh.pager != nil && sh.pager.vn != nil {
@@ -220,6 +224,7 @@ func (s *System) collapse(o *object) {
 			// Merge: pull sh's pages and swap up into o where o has no
 			// data of its own; anything o already covers is redundant and
 			// dies here.
+			//uvm:maporder-ok each page moves or dies independently at its own index; order-independent
 			for idx, pg := range sh.pages {
 				top := idx - o.shadowOff
 				if top >= 0 && top < o.sizePg && o.pages[top] == nil && !o.hasSwap(top) {
@@ -228,10 +233,11 @@ func (s *System) collapse(o *object) {
 					o.pages[top] = pg
 				} else {
 					s.freeObjectPage(sh, idx, pg)
-					s.mach.Stats.Inc("bsdvm.collapse.redundant_pages")
+					s.ctrCollapseRedund.Inc()
 				}
 			}
 			if sh.pager != nil && sh.pager.swp != nil {
+				//uvm:maporder-ok each slot adopts into a fixed destination index; order-independent
 				for idx, slot := range sh.pager.swp.slots {
 					top := idx - o.shadowOff
 					if top >= 0 && top < o.sizePg && o.pages[top] == nil && !o.hasSwap(top) {
@@ -250,8 +256,8 @@ func (s *System) collapse(o *object) {
 			o.shadowOff += sh.shadowOff
 			sh.shadow = nil
 			s.mach.Clock.Advance(s.mach.Costs.ObjectFree)
-			s.mach.Stats.Add("bsdvm.object.live", -1)
-			s.mach.Stats.Inc("bsdvm.collapse.merged")
+			s.ctrObjectLive.Add(-1)
+			s.ctrCollapseMerged.Inc()
 			continue
 		}
 		// Bypass: if sh holds nothing o's window needs, o can point
@@ -261,7 +267,7 @@ func (s *System) collapse(o *object) {
 			newOff := o.shadowOff + sh.shadowOff
 			o.shadow = sh.shadow
 			o.shadowOff = newOff
-			s.mach.Stats.Inc("bsdvm.collapse.bypassed")
+			s.ctrCollapseBypassed.Inc()
 			s.deallocate(sh)
 			continue
 		}
@@ -279,6 +285,7 @@ func chainStats(e *entry) (objects, totalPages, reachablePages int) {
 	off := 0
 	for o := e.obj; o != nil; o = o.shadow {
 		objects++
+		//uvm:maporder-ok counting with a seen-set; totals are order-independent
 		for idx := range o.pages {
 			top := idx - off
 			totalPages++

@@ -80,6 +80,7 @@ func (s *System) hashRemove(p *vmPager) {
 // and its individually adopted slots.
 func (s *System) destroyPager(p *vmPager) {
 	if p.swp != nil {
+		//uvm:maporder-ok swap frees clear bitmap bits; next-fit allocation sees only the free set
 		for _, start := range p.swp.blocks {
 			if len(p.swp.ceded) == 0 {
 				s.mach.Swap.FreeRange(start, swapBlockPages)
@@ -91,6 +92,7 @@ func (s *System) destroyPager(p *vmPager) {
 				}
 			}
 		}
+		//uvm:maporder-ok swap frees clear bitmap bits; next-fit allocation sees only the free set
 		for slot := range p.swp.adopted {
 			s.mach.Swap.Free(slot)
 		}

@@ -340,6 +340,7 @@ func (p *process) Msync(addr param.VAddr, length param.VSize) error {
 		// the disk head's path, and Go map iteration order would make it
 		// (and so the simulated time) differ run to run.
 		idxs := make([]int, 0, len(cur.obj.pages))
+		//uvm:maporder-ok indices are sorted below
 		for idx := range cur.obj.pages {
 			if idx >= loIdx && idx <= hiIdx {
 				idxs = append(idxs, idx)

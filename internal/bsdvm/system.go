@@ -32,6 +32,7 @@ import (
 	"sync"
 
 	"uvm/internal/param"
+	"uvm/internal/sim"
 	"uvm/internal/vmapi"
 )
 
@@ -69,7 +70,9 @@ type System struct {
 	mach *vmapi.Machine
 	cfg  Config
 
-	big sync.Mutex // the "kernel lock": serialises public entry points
+	// big is the "kernel lock": serialises public entry points.
+	//uvm:lock system
+	big sync.Mutex
 
 	kmap      *vmMap
 	kentryUse int
@@ -78,6 +81,16 @@ type System struct {
 	cache     objCache
 	nextObjID int
 	procs     map[*process]struct{}
+
+	// Cached counter handles for the loop-hot paths (chain walks,
+	// collapse scans, cache evictions), resolved once at boot.
+	ctrChainWalk        sim.Counter
+	ctrCacheEvictions   sim.Counter
+	ctrCollapseScan     sim.Counter
+	ctrCollapseRedund   sim.Counter
+	ctrCollapseMerged   sim.Counter
+	ctrCollapseBypassed sim.Counter
+	ctrObjectLive       sim.Counter
 }
 
 // Boot boots BSD VM on machine m with default configuration.
@@ -91,6 +104,13 @@ func BootConfig(m *vmapi.Machine, cfg Config) *System {
 		pagerHash: make(map[*vmPager]*object),
 		procs:     make(map[*process]struct{}),
 	}
+	s.ctrChainWalk = m.Stats.Counter(sim.CtrChainWalk)
+	s.ctrCacheEvictions = m.Stats.Counter("bsdvm.objcache.evictions")
+	s.ctrCollapseScan = m.Stats.Counter("bsdvm.collapse.scan")
+	s.ctrCollapseRedund = m.Stats.Counter("bsdvm.collapse.redundant_pages")
+	s.ctrCollapseMerged = m.Stats.Counter("bsdvm.collapse.merged")
+	s.ctrCollapseBypassed = m.Stats.Counter("bsdvm.collapse.bypassed")
+	s.ctrObjectLive = m.Stats.Counter("bsdvm.object.live")
 	s.cache.limit = cfg.ObjCacheLimit
 	s.kmap = s.newMap("kernel", param.KernelBase, param.KernelMax, true)
 
@@ -153,6 +173,7 @@ func (s *System) TotalMapEntries() int {
 	s.big.Lock()
 	defer s.big.Unlock()
 	total := s.kmap.n
+	//uvm:maporder-ok summing counts; order-independent
 	for p := range s.procs {
 		if p.vforked {
 			continue // shares its parent's map; counting it would double

@@ -46,6 +46,7 @@ type Plane struct {
 	// Epoch is the minimum simulated time between controller steps.
 	Epoch time.Duration
 
+	//uvm:lock control
 	mu      sync.Mutex
 	entries []Entry
 	last    time.Duration

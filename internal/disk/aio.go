@@ -41,8 +41,10 @@ type AsyncWriter struct {
 
 	// io serialises the transfers of overlapped writes: one head per
 	// disk, so concurrent submissions still queue at the device.
+	//uvm:lock diskhead
 	io sync.Mutex
 
+	//uvm:lock diskaio
 	mu       sync.Mutex
 	cond     *sync.Cond
 	window   int // admission bound; live, see SetWindow

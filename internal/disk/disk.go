@@ -36,6 +36,7 @@ type Disk struct {
 	costs *sim.Costs
 	stats *sim.Stats
 
+	//uvm:lock disk
 	mu      sync.Mutex
 	nblocks int64
 	blocks  map[int64][]byte // lazily allocated; absent block reads as zeros

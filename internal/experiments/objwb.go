@@ -134,6 +134,7 @@ func ObjWBRunOn(prof, cfgName, backend string, tune func(*uvm.Config), rounds in
 		return ObjWBPoint{}, 0, fmt.Errorf("objwb: unknown backend %q", backend)
 	}
 
+	//uvm:wallclock real elapsed time is the reported host-throughput metric
 	wallStart := time.Now()
 	simStart := mach.Clock.Now()
 	for r := 0; r < rounds; r++ {
@@ -146,6 +147,7 @@ func ObjWBRunOn(prof, cfgName, backend string, tune func(*uvm.Config), rounds in
 			return ObjWBPoint{}, 0, err
 		}
 	}
+	//uvm:wallclock real elapsed time is the reported host-throughput metric
 	wall := time.Since(wallStart)
 	simT := mach.Clock.Now() - simStart
 	sys.Shutdown()

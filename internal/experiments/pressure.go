@@ -96,8 +96,10 @@ func pressureRun(name string, boot vmapi.Booter, workers, accesses int) (Pressur
 				va, verr = p.Mmap(0, length, param.ProtRW, vmapi.MapAnon|vmapi.MapPrivate, nil, 0)
 				for i := 0; i < accesses && verr == nil; i++ {
 					addr := va + param.VAddr(i%pressureRegionPages)*param.PageSize
+					//uvm:wallclock host-latency histogram measures real elapsed time
 					t0 := time.Now()
 					verr = p.Access(addr, true)
+					//uvm:wallclock host-latency histogram measures real elapsed time
 					lat = append(lat, time.Since(t0))
 				}
 			} else {

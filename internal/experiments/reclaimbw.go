@@ -154,6 +154,7 @@ func ReclaimBWRunOn(prof string, swapPlan *disk.FaultPlan, cfgName string,
 		ioErrs   int
 		firstErr error
 	)
+	//uvm:wallclock real elapsed time is the reported host-throughput metric
 	wallStart := time.Now()
 	simStart := mach.Clock.Now()
 	for _, pr := range producers {
@@ -165,6 +166,7 @@ func ReclaimBWRunOn(prof string, swapPlan *disk.FaultPlan, cfgName string,
 			var verr error
 			for i := 0; i < accessesPerProducer && verr == nil; i++ {
 				addr := pr.va + param.VAddr(i%reclaimBWRegionPages)*param.PageSize
+				//uvm:wallclock host-latency histogram measures real elapsed time
 				t0 := time.Now()
 				if err := pr.p.Access(addr, true); err != nil {
 					if swapPlan == nil {
@@ -177,6 +179,7 @@ func ReclaimBWRunOn(prof string, swapPlan *disk.FaultPlan, cfgName string,
 						errs++
 					}
 				}
+				//uvm:wallclock host-latency histogram measures real elapsed time
 				lat = append(lat, time.Since(t0))
 			}
 			mu.Lock()
@@ -189,6 +192,7 @@ func ReclaimBWRunOn(prof string, swapPlan *disk.FaultPlan, cfgName string,
 		}(pr)
 	}
 	wg.Wait()
+	//uvm:wallclock real elapsed time is the reported host-throughput metric
 	wall := time.Since(wallStart)
 	if firstErr != nil {
 		return ReclaimBWPoint{}, 0, firstErr

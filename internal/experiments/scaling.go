@@ -144,6 +144,7 @@ func scalingRunOn(prof, name string, boot vmapi.Booter, workers, allocCaches int
 		firstErr error
 		errOnce  sync.Once
 	)
+	//uvm:wallclock real elapsed time is the reported host-throughput metric
 	start := time.Now()
 	for i := range procs {
 		wg.Add(1)
@@ -172,6 +173,7 @@ func scalingRunOn(prof, name string, boot vmapi.Booter, workers, allocCaches int
 		}(procs[i])
 	}
 	wg.Wait()
+	//uvm:wallclock real elapsed time is the reported host-throughput metric
 	wall := time.Since(start)
 	if firstErr != nil {
 		sys.Shutdown()

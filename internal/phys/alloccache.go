@@ -50,6 +50,7 @@ const defaultAllocBatch = 16
 // allocCache is one magazine: a private LIFO of free frames. LIFO keeps
 // the hot end cache-warm, exactly like a CPU-local page cache.
 type allocCache struct {
+	//uvm:lock magazine
 	mu    sync.Mutex
 	pages []*Page
 }

@@ -84,6 +84,7 @@ type Page struct {
 	// page (a memory object or an anon). Guarded by mu, because loan
 	// orphaning and loan-break change a page's owner while other paths
 	// (the pagedaemon, loan teardown) are inspecting it.
+	//uvm:lock pageident
 	mu    sync.Mutex
 	owner any
 	off   param.PageOff
@@ -202,6 +203,7 @@ func (l *pageList) popHead() *Page {
 // exactly one shard, and all of that frame's queue membership is
 // guarded by the shard's mutex.
 type memShard struct {
+	//uvm:lock pageq
 	mu       sync.Mutex
 	free     pageList
 	active   pageList

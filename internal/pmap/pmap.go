@@ -88,6 +88,7 @@ type pv struct {
 // pvBucket is one shard of the reverse map: the pv lists of every page
 // whose frame number hashes here, under the bucket's own mutex.
 type pvBucket struct {
+	//uvm:lock pvbucket
 	mu  sync.Mutex
 	rev map[*phys.Page][]pv
 }
@@ -204,6 +205,7 @@ type Pmap struct {
 	mmu  *MMU
 	name string
 
+	//uvm:lock pmap
 	mu        sync.Mutex
 	pt        map[param.VAddr]PTE
 	ptRegions map[param.VAddr]int // 4MB region base -> live PTE count

@@ -114,6 +114,7 @@ func (s *Stats) Reset() {
 func (s *Stats) String() string {
 	snap := s.Snapshot()
 	keys := make([]string, 0, len(snap))
+	//uvm:maporder-ok keys are sorted below before formatting
 	for k := range snap {
 		keys = append(keys, k)
 	}

@@ -29,6 +29,7 @@ const DefaultAIOWindow = disk.DefaultAIOWindow
 // aio is the Swap-wide async-write bookkeeping: the configured window and
 // the in-flight count Drain waits on.
 type aio struct {
+	//uvm:lock swapaio
 	mu       sync.Mutex
 	cond     *sync.Cond
 	window   int

@@ -70,6 +70,7 @@ type shard struct {
 	base int64 // global slot number of this shard's first slot
 	size int64
 
+	//uvm:lock swap
 	mu    sync.Mutex
 	inUse []bool
 	nFree int64
@@ -221,8 +222,14 @@ type Swap struct {
 	costs *sim.Costs
 	stats *sim.Stats
 
-	mu   sync.Mutex // serialises AddDevice only
+	// mu serialises AddDevice only.
+	//uvm:lock swapreg
+	mu   sync.Mutex
 	devs atomic.Pointer[topo]
+
+	// ctrSlotsLive is the cached handle for the per-allocation live-slot
+	// gauge, resolved once at construction.
+	ctrSlotsLive sim.Counter
 
 	nSlots atomic.Int64
 	nInUse atomic.Int64 // lock-free in-use count across all shards
@@ -233,6 +240,7 @@ type Swap struct {
 // New creates a swap subsystem with one device of priority 0 spanning dev.
 func New(clock *sim.Clock, costs *sim.Costs, stats *sim.Stats, dev *disk.Disk) *Swap {
 	s := &Swap{clock: clock, costs: costs, stats: stats}
+	s.ctrSlotsLive = stats.Counter(sim.CtrSwapSlotsLive)
 	s.devs.Store(&topo{})
 	s.aio.init()
 	s.AddDevice(dev, 0)
@@ -332,7 +340,7 @@ func (s *Swap) AllocContig(n int) (int64, error) {
 		}
 		if slot, ok := d.alloc(int64(n)); ok {
 			s.nInUse.Add(int64(n))
-			s.stats.Add(sim.CtrSwapSlotsLive, int64(n))
+			s.ctrSlotsLive.Add(int64(n))
 			return slot, nil
 		}
 	}

@@ -50,6 +50,7 @@ type segment struct {
 type Registry struct {
 	sys vmapi.System
 
+	//uvm:lock shmreg
 	mu     sync.Mutex
 	nextID ID
 	byKey  map[Key]*segment

@@ -21,6 +21,7 @@ import (
 // resolution through pmap entry so the pagedaemon (which TryLocks it)
 // can never yank the page out from under a fault in progress.
 type anon struct {
+	//uvm:lock anon
 	mu     sync.Mutex
 	refs   int
 	page   *phys.Page
@@ -200,6 +201,7 @@ func (aa *arrayAmap) foreach(fn func(int, *anon) bool) {
 // guards refs and the impl contents; it nests below map and object locks
 // and above anon locks.
 type amap struct {
+	//uvm:lock amap
 	mu   sync.Mutex
 	impl amapImpl
 	refs int

@@ -84,6 +84,7 @@ func (hy *hybridAmap) set(slot int, a *anon) {
 
 func (hy *hybridAmap) densify(ha *hashAmap) {
 	arr := &arrayAmap{anons: make([]*anon, ha.n)}
+	//uvm:maporder-ok each anon lands at its own slot index; order-independent
 	for slot, a := range ha.slots {
 		arr.anons[slot] = a
 	}

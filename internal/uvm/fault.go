@@ -153,7 +153,7 @@ func (s *System) asyncPagein(e *entry, faultVA param.VAddr) {
 		pg.Dirty.Store(false)
 		o.pages[idx] = pg
 		s.mach.Mem.Activate(pg)
-		s.mach.Stats.Inc("uvm.asyncpagein.pages")
+		s.ctrAsyncPageinPgs.Inc()
 	}
 }
 

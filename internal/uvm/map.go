@@ -61,6 +61,7 @@ type vmMap struct {
 	name   string
 	kernel bool
 
+	//uvm:lock map
 	mu sync.RWMutex
 
 	min, max param.VAddr

@@ -38,6 +38,7 @@ type pagerOps interface {
 // nests below the map lock and above the amap/anon locks (the write
 // fault that promotes an object page into a fresh anon holds both).
 type uobject struct {
+	//uvm:lock object
 	mu     sync.Mutex
 	ops    pagerOps
 	refs   int
@@ -337,7 +338,7 @@ func (ap *aobjPager) get(o *uobject, idx int) (*phys.Page, error) {
 		}
 		o.pages[idx] = pg
 		pg.Dirty.Store(false)
-		ap.sys.mach.Stats.Inc(sim.CtrPageIns)
+		ap.sys.ctrPageIns.Inc()
 		return pg, nil
 	}
 }
@@ -365,9 +366,11 @@ func (ap *aobjPager) put(o *uobject, pg *phys.Page) error {
 func (ap *aobjPager) detach(o *uobject) {
 	// Anonymous objects die with their last reference: free pages and
 	// swap.
+	//uvm:maporder-ok frees interchangeable frames; no cost depends on free order
 	for idx, pg := range o.pages {
 		ap.sys.freeObjectPage(o, idx, pg)
 	}
+	//uvm:maporder-ok swap frees clear bitmap bits; next-fit allocation sees only the free set
 	for _, slot := range o.aobjSlots {
 		ap.sys.mach.Swap.Free(slot)
 	}

@@ -59,6 +59,7 @@ type wbItem struct {
 // wbBatch tracks one caller's outstanding writeback clusters so msync
 // and recycle can wait for their own I/O (and only their own).
 type wbBatch struct {
+	//uvm:lock wbcond
 	mu       sync.Mutex
 	cond     *sync.Cond
 	inFlight int
@@ -221,8 +222,8 @@ func (s *System) submitWbLocked(o *uobject, items []wbItem, batch *wbBatch) {
 			pages[i] = it.pg
 			bufs[i] = it.pg.Data
 		}
-		s.mach.Stats.Inc(sim.CtrObjWbClusters)
-		s.mach.Stats.Add(sim.CtrObjWbPages, int64(len(cl)))
+		s.ctrObjWbClusters.Inc()
+		s.ctrObjWbPages.Add(int64(len(cl)))
 		if batch != nil {
 			batch.add()
 		}
@@ -298,6 +299,8 @@ func (s *System) failWbPages(pages []*phys.Page, err error, batch *wbBatch) {
 // failure the pages stay dirty (an aobj page's freshly assigned slot
 // then holds whatever the failed write left, which is harmless: a dirty
 // page is rewritten before its slot is trusted).
+//
+//uvm:completion
 func (s *System) wbWriteDone(pages []*phys.Page, err error, batch *wbBatch) {
 	if gate := s.wbGate; gate != nil {
 		gate()
@@ -383,6 +386,7 @@ func (s *System) flushObjectRangeSync(o *uobject, loIdx, hiIdx int) (int, error)
 func (s *System) waitObjIdleLocked(o *uobject) {
 	for {
 		var busy *phys.Page
+		//uvm:maporder-ok waits on any busy page and loops until none remain; order-independent
 		for _, pg := range o.pages {
 			if pg.Busy.Load() {
 				busy = pg
@@ -402,6 +406,7 @@ func (s *System) waitObjIdleLocked(o *uobject) {
 // disk head's path). Caller holds o.mu.
 func sortedPageIdxs(o *uobject, loIdx, hiIdx int) []int {
 	idxs := make([]int, 0, len(o.pages))
+	//uvm:maporder-ok indices are sorted below
 	for idx := range o.pages {
 		if idx >= loIdx && idx <= hiIdx {
 			idxs = append(idxs, idx)

@@ -230,6 +230,7 @@ func (s *System) aobjPageinCluster(o *uobject, idx int, slot int64, pg *phys.Pag
 	// afterwards and shrink the run to what survived.
 	frames := map[int64]*phys.Page{slot: pg}
 	freeFrames := func(except int64) {
+		//uvm:maporder-ok frees interchangeable frames; no cost depends on free order
 		for sl, f := range frames {
 			if sl != except && f != pg {
 				s.mach.Mem.Free(f)
@@ -276,6 +277,7 @@ func (s *System) aobjPageinCluster(o *uobject, idx int, slot int64, pg *phys.Pag
 	}
 	lo, hi = growRun()
 	// Frames outside the (possibly shrunk) run go back.
+	//uvm:maporder-ok frees interchangeable frames; no cost depends on free order
 	for sl, f := range frames {
 		if sl < lo || sl > hi {
 			s.mach.Mem.Free(f)

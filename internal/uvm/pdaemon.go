@@ -67,6 +67,7 @@ type pagedaemon struct {
 	wake chan struct{} // doorbell; buffered(1), rung by kick
 	done chan struct{} // closed when the daemon goroutine exits
 
+	//uvm:lock daemon
 	mu       sync.Mutex
 	cond     *sync.Cond // signalled after every completed round
 	gen      uint64     // completed reclaim rounds + async completions
@@ -181,7 +182,7 @@ func (pd *pagedaemon) run() {
 			// pool, not private to goroutines that stopped allocating.
 			freed = pd.s.mach.Mem.ReapCaches()
 		}
-		pd.s.mach.Stats.Inc(sim.CtrPdRounds)
+		pd.s.ctrPdRounds.Inc()
 
 		pd.mu.Lock()
 		pd.gen++
@@ -328,7 +329,7 @@ func (s *System) allocPage(owner any, off param.PageOff, zero bool) (*phys.Page,
 			return nil, vmapi.ErrDeadlock
 		}
 		if s.pd != nil {
-			s.mach.Stats.Inc(sim.CtrPdDirect)
+			s.ctrPdDirect.Inc()
 		}
 		if rerr := s.reclaim(s.cfg.ReclaimBatch); rerr != nil {
 			return nil, rerr
@@ -381,6 +382,7 @@ func releaseOwner(owner any) {
 }
 
 func (os ownerSet) releaseAll() {
+	//uvm:maporder-ok unlock order of independent owner locks is immaterial
 	for owner := range os {
 		releaseOwner(owner)
 		delete(os, owner)
@@ -463,7 +465,7 @@ func (s *System) reclaimRound(target int) (freed, submitted int) {
 			f, sub := s.reclaimRange(lo, hi, per, async)
 			freedN.Add(int64(f))
 			subN.Add(int64(sub))
-			s.mach.Stats.Inc(sim.CtrPdWorkerRounds)
+			s.ctrPdWorkerRounds.Inc()
 		}()
 	}
 	wg.Wait()
@@ -484,8 +486,12 @@ func (s *System) reclaimRange(loShard, hiShard, target int, async bool) (freed, 
 		var cluster []*phys.Page
 		// vnWb collects dirty vnode pages for the object writeback
 		// pipeline (async rounds only): per-object, submitted as
-		// contiguous-index cluster writes after the scan.
+		// contiguous-index cluster writes after the scan. vnWbOrder
+		// remembers first-touch order so flights are submitted in the
+		// deterministic order the queue scan discovered the objects —
+		// submission order decides the async writer's disk-head path.
 		var vnWb map[*uobject][]*phys.Page
+		var vnWbOrder []*uobject
 		vnAsync := async && s.pd != nil && !s.cfg.DisableClustering
 		vnPages := 0
 		held := make(ownerSet)
@@ -581,6 +587,9 @@ func (s *System) reclaimRange(loShard, hiShard, target int, async bool) (freed, 
 						if vnWb == nil {
 							vnWb = make(map[*uobject][]*phys.Page)
 						}
+						if _, ok := vnWb[o]; !ok {
+							vnWbOrder = append(vnWbOrder, o)
+						}
 						vnWb[o] = append(vnWb[o], pg)
 						vnPages++
 						held.keep(owner)
@@ -608,9 +617,9 @@ func (s *System) reclaimRange(loShard, hiShard, target int, async bool) (freed, 
 		// the duty to detach and free its pages — is handed to its
 		// flight's last completion, so the object is removed from `held`
 		// here (the anon cluster below hands over whatever remains).
-		for o, pages := range vnWb {
+		for _, o := range vnWbOrder {
 			delete(held, o)
-			submitted += s.submitVnodeFlight(o, pages)
+			submitted += s.submitVnodeFlight(o, vnWb[o])
 		}
 
 		if len(cluster) > 0 {
@@ -694,6 +703,8 @@ func (s *System) clusterPageoutAsync(cluster []*phys.Page, held ownerSet) int {
 // and freed; on failure they return to the active queue still dirty,
 // their freshly assigned slots keeping whatever garbage the failed write
 // left (harmless: a dirty page is rewritten before its slot is trusted).
+//
+//uvm:completion
 func (s *System) asyncPageoutDone(pages []*phys.Page, owners ownerSet, err error) {
 	freed := 0
 	if err != nil {
@@ -765,7 +776,7 @@ func (s *System) pageoutSingles(cluster []*phys.Page) (int, error) {
 			return done, err
 		}
 		s.finishPageout(pg)
-		s.mach.Stats.Inc(sim.CtrPageOuts)
+		s.ctrPageOuts.Inc()
 		done++
 	}
 	return done, nil
@@ -814,6 +825,7 @@ type vnFlight struct {
 	s *System
 	o *uobject
 
+	//uvm:lock flight
 	mu      sync.Mutex
 	pending int
 	freed   []*phys.Page // pages of completed, successful runs
@@ -839,8 +851,8 @@ func (s *System) submitVnodeFlight(o *uobject, pages []*phys.Page) int {
 			runPages[i] = it.pg
 			bufs[i] = it.pg.Data
 		}
-		s.mach.Stats.Inc(sim.CtrObjWbClusters)
-		s.mach.Stats.Add(sim.CtrObjWbPages, int64(len(run)))
+		s.ctrObjWbClusters.Inc()
+		s.ctrObjWbPages.Add(int64(len(run)))
 		if err := o.vnode.WriteClusterAsync(run[0].idx, bufs,
 			func(err error) { fl.runDone(runPages, err) }); err != nil {
 			// Unreachable for in-range pages, but keep the bookkeeping
@@ -856,6 +868,8 @@ func (s *System) submitVnodeFlight(o *uobject, pages []*phys.Page) int {
 // object lock (handed over at submission) — which is what makes the
 // o.pages mutation in finishPageout safe — plus the flight's own mutex
 // to serialise sibling runs' completions.
+//
+//uvm:completion
 func (fl *vnFlight) runDone(pages []*phys.Page, err error) {
 	s := fl.s
 	fl.mu.Lock()

@@ -33,6 +33,7 @@ type Process struct {
 
 	// wireMu guards kstackWires: two kernel paths (sysctl, physio) may
 	// wire buffers of the same process concurrently.
+	//uvm:lock leaf
 	wireMu sync.Mutex
 	// kstackWires records buffer ranges temporarily wired by sysctl and
 	// physio; the record lives "on the kernel stack" (§3.2), never in the

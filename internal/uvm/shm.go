@@ -17,7 +17,10 @@ type shmSegment struct {
 	sys    *System
 	npages int
 
-	mu  sync.Mutex // guards obj against a concurrent Attach/Release
+	// mu guards obj against a concurrent Attach/Release; held across the
+	// target map lock in Attach.
+	//uvm:lock shmseg
+	mu  sync.Mutex
 	obj *uobject
 }
 

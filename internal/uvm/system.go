@@ -124,6 +124,7 @@ import (
 	"sync/atomic"
 
 	"uvm/internal/param"
+	"uvm/internal/sim"
 	"uvm/internal/vmapi"
 )
 
@@ -239,11 +240,27 @@ type System struct {
 	kmap      *vmMap
 	kentryUse atomic.Int32
 
+	// Cached counter handles for per-page loop paths, resolved once at
+	// boot so the hot loops skip the string-keyed Stats lookup (the
+	// counterhandle analyzer enforces this idiom).
+	ctrPageIns        sim.Counter
+	ctrPageOuts       sim.Counter
+	ctrAsyncPageinPgs sim.Counter
+	ctrObjWbClusters  sim.Counter
+	ctrObjWbPages     sim.Counter
+	ctrPdRounds       sim.Counter
+	ctrPdDirect       sim.Counter
+	ctrPdWorkerRounds sim.Counter
+	ctrUbcReads       sim.Counter
+	ctrUbcWrites      sim.Counter
+
 	// vnObjMu serialises vnode<->uvm_object identity: the create-or-ref
 	// decision in vnodeObject must be atomic across concurrent mappers
 	// of the same file.
+	//uvm:lock vnobj
 	vnObjMu sync.Mutex
 
+	//uvm:lock system
 	procMu sync.Mutex
 	procs  map[*Process]struct{}
 
@@ -267,6 +284,7 @@ type System struct {
 	// Writeback waiter state: paths that find an object page busy (a
 	// flush owns its contents) sleep here; wbGen is bumped and the
 	// condvar broadcast by every flush completion (see objwb.go).
+	//uvm:lock wbcond
 	wbMu   sync.Mutex
 	wbCond *sync.Cond
 	wbGen  uint64
@@ -282,6 +300,16 @@ func BootConfig(m *vmapi.Machine, cfg Config) *System {
 		cfg:   cfg,
 		procs: make(map[*Process]struct{}),
 	}
+	s.ctrPageIns = m.Stats.Counter(sim.CtrPageIns)
+	s.ctrPageOuts = m.Stats.Counter(sim.CtrPageOuts)
+	s.ctrAsyncPageinPgs = m.Stats.Counter("uvm.asyncpagein.pages")
+	s.ctrObjWbClusters = m.Stats.Counter(sim.CtrObjWbClusters)
+	s.ctrObjWbPages = m.Stats.Counter(sim.CtrObjWbPages)
+	s.ctrPdRounds = m.Stats.Counter(sim.CtrPdRounds)
+	s.ctrPdDirect = m.Stats.Counter(sim.CtrPdDirect)
+	s.ctrPdWorkerRounds = m.Stats.Counter(sim.CtrPdWorkerRounds)
+	s.ctrUbcReads = m.Stats.Counter("uvm.ubc.reads")
+	s.ctrUbcWrites = m.Stats.Counter("uvm.ubc.writes")
 	s.wbCond = sync.NewCond(&s.wbMu)
 	s.pageinClusterA.Store(int32(cfg.PageinCluster))
 	if cfg.AsyncWriteback && cfg.WritebackWindow > 0 {
@@ -418,6 +446,7 @@ func (s *System) TotalMapEntries() int {
 	s.kmap.mu.RLock()
 	total := s.kmap.n
 	s.kmap.mu.RUnlock()
+	//uvm:maporder-ok summing counts; order-independent
 	for p := range s.procs {
 		if p.vforked {
 			continue // shares its parent's map; counting it would double

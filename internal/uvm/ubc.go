@@ -88,10 +88,10 @@ func (s *System) fileIO(vn *vfs.Vnode, off int, buf []byte, write bool) (int, er
 		if write {
 			copy(pg.Data[pageOff:pageOff+n], buf[done:done+n])
 			pg.Dirty.Store(true)
-			s.mach.Stats.Inc("uvm.ubc.writes")
+			s.ctrUbcWrites.Inc()
 		} else {
 			copy(buf[done:done+n], pg.Data[pageOff:pageOff+n])
-			s.mach.Stats.Inc("uvm.ubc.reads")
+			s.ctrUbcReads.Inc()
 		}
 		if pg.WireCount.Load() == 0 && !pg.Loaned() {
 			s.mach.Mem.Activate(pg)

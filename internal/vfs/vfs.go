@@ -198,6 +198,7 @@ type FS struct {
 	stats *sim.Stats
 	dev   *disk.Disk
 
+	//uvm:lock vfs
 	mu        sync.Mutex
 	files     map[string]*file
 	vnodes    map[string]*Vnode // in-core vnodes, active or free
@@ -207,6 +208,7 @@ type FS struct {
 	// Asynchronous write-back state: one bounded-window writer for the
 	// filesystem disk (created lazily with awWindow), shared by every
 	// vnode's WriteClusterAsync.
+	//uvm:lock vfsaw
 	awMu     sync.Mutex
 	aw       *disk.AsyncWriter
 	awWindow int
@@ -370,6 +372,7 @@ func (fs *FS) Open(name string) (*Vnode, error) {
 // lruVictimLocked picks the least recently used unreferenced vnode.
 func (fs *FS) lruVictimLocked() *Vnode {
 	var victim *Vnode
+	//uvm:maporder-ok strict minimum over unique LRU sequence numbers; order-independent
 	for _, v := range fs.vnodes {
 		if v.refs > 0 {
 			continue
@@ -409,6 +412,7 @@ func (fs *FS) FreeVnodes() int {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	n := 0
+	//uvm:maporder-ok counting only; the sum is order-independent
 	for _, v := range fs.vnodes {
 		if v.refs == 0 {
 			n++

@@ -10,9 +10,13 @@
 #      types, vars and consts without a doc comment) in internal/swap,
 #      internal/uvm, internal/pmap, internal/phys, internal/disk,
 #      internal/vfs, internal/workload, internal/experiments,
-#      internal/histogram and internal/control — the subsystems whose
-#      documentation this repo commits to keeping current. Members of
-#      grouped const/var blocks are outside the check's scope.
+#      internal/histogram, internal/control and internal/analysis — the
+#      subsystems whose documentation this repo commits to keeping
+#      current. Members of grouped const/var blocks are outside the
+#      check's scope.
+#   4. drift between the lock hierarchy declared in
+#      internal/analysis/levels.go and the level table documented in
+#      docs/analysis.md (names and order must match exactly).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 fail=0
@@ -48,7 +52,8 @@ done
 for f in internal/swap/*.go internal/uvm/*.go internal/pmap/*.go \
          internal/phys/*.go internal/disk/*.go internal/vfs/*.go \
          internal/workload/*.go internal/experiments/*.go \
-         internal/histogram/*.go internal/control/*.go; do
+         internal/histogram/*.go internal/control/*.go \
+         internal/analysis/*.go; do
   case "$f" in *_test.go) continue ;; esac
   if ! awk -v file="$f" '
     /^(func|type|var|const) [A-Z]/ || /^func \([^)]*\) [A-Z]/ {
@@ -63,6 +68,17 @@ for f in internal/swap/*.go internal/uvm/*.go internal/pmap/*.go \
     fail=1
   fi
 done
+
+# --- 4. lock levels: levels.go vs docs/analysis.md ------------------------
+code_levels=$(awk '/^var Levels = \[\]string\{/,/^\}/' internal/analysis/levels.go \
+  | grep -oE '"[a-z]+"' | tr -d '"')
+doc_levels=$(grep -oE '^\| `[a-z]+` \|' docs/analysis.md \
+  | sed -E 's/^\| `([a-z]+)` \|/\1/')
+if ! diff <(echo "$code_levels") <(echo "$doc_levels") >/dev/null; then
+  echo "lock level drift between internal/analysis/levels.go and docs/analysis.md:"
+  diff <(echo "$code_levels") <(echo "$doc_levels") | sed 's/^/  /' || true
+  fail=1
+fi
 
 if [ "$fail" -ne 0 ]; then
   echo "check-docs: FAILED"
